@@ -1,0 +1,88 @@
+"""EXP-L51 — Lemma 5.1: the NCA labeling and its proof-labeling scheme.
+
+Regenerates: O(log n)-bit labels (Gilbert–Moore wire format) across
+adversarial tree shapes, correctness of nca() from labels alone, the
+certificate size of the PLS, and the O(n)-round distributed construction.
+"""
+
+import math
+
+from repro.analysis import fit_log_exponent, format_table
+from repro.core import bfs_tree
+from repro.core.tasks import NCALabelLayer
+from repro.core.swap import MalleableTreeProtocol
+from repro.graphs import caterpillar_graph, path_graph, random_tree_graph, star_graph
+from repro.labeling.nca import NCALabeling
+from repro.labeling.nca_pls import NCAPLS
+from repro.runtime import ComposedProtocol, Simulator, SynchronousScheduler
+
+SHAPES = [
+    ("path", lambda n, s: path_graph(n, seed=s)),
+    ("star", lambda n, s: star_graph(n, seed=s)),
+    ("caterpillar", lambda n, s: caterpillar_graph(max(2, n // 3), 2, seed=s)),
+    ("random", lambda n, s: random_tree_graph(n, seed=s)),
+]
+
+SIZES = (16, 64, 256)
+
+
+def run_exp_l51():
+    rows = []
+    for shape, make in SHAPES:
+        ns, bits_series = [], []
+        for n in SIZES:
+            net = make(n, 7)
+            tree = bfs_tree(net)
+            scheme = NCALabeling(net, tree)
+            # correctness on a sample of pairs
+            nodes = list(net.nodes)
+            for i in range(0, len(nodes), max(1, len(nodes) // 8)):
+                for j in range(0, len(nodes), max(1, len(nodes) // 8)):
+                    assert scheme.nca(nodes[i], nodes[j]) == tree.nca(nodes[i], nodes[j])
+            pls_bits = NCAPLS().max_label_bits(net, NCAPLS().prove(net, tree))
+            ns.append(net.n)
+            bits_series.append(scheme.max_encoded_bits())
+            rows.append((shape, net.n, scheme.max_encoded_bits(), pls_bits,
+                         f"{scheme.max_encoded_bits() / math.log2(net.n):.1f}"))
+        exp = fit_log_exponent(ns, bits_series)
+        assert exp <= 2.2, (shape, exp)
+    print()
+    print(format_table(
+        "EXP-L51: NCA labels (ref [6]) + PLS certificates (Lemma 5.1)",
+        ["shape", "n", "label bits (GM wire)", "PLS cert bits",
+         "label bits / log2 n"],
+        rows))
+    return rows
+
+
+def run_distributed_build():
+    rows = []
+    for n in (8, 16, 32):
+        net = random_tree_graph(n, seed=8)
+        tree = bfs_tree(net)
+        proto = ComposedProtocol([MalleableTreeProtocol(), NCALabelLayer()],
+                                 name="tree+nca")
+        base = MalleableTreeProtocol().legal_configuration(net, tree)
+        cfg = proto.initial_configuration(net)
+        for v in net.nodes:
+            cfg[v].update(base[v])
+        sim = Simulator(net, proto, SynchronousScheduler(), config=cfg)
+        result = sim.run(max_rounds=20 * n)
+        assert result.silent
+        assert NCALabelLayer.labels_ok(net, sim.config, tree)
+        rows.append((n, result.rounds))
+    print()
+    print(format_table(
+        "EXP-L51: distributed NCA label construction (rounds, O(n) claim)",
+        ["n", "rounds"], rows))
+    return rows
+
+
+def test_exp_l51_label_sizes(once):
+    rows = once(run_exp_l51)
+    assert len(rows) == len(SHAPES) * len(SIZES)
+
+
+def test_exp_l51_distributed_construction(once):
+    rows = once(run_distributed_build)
+    assert rows[-1][1] <= 6 * 32

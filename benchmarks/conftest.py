@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one experiment of EXPERIMENTS.md and prints the
+table/series the paper's corresponding claim is checked against.  Runs are
+deterministic, so each measurement executes once per benchmark round.
+"""
+
+import pytest
+
+from repro.core.swap import MalleableTreeProtocol
+
+
+def seeded_config(net, proto, tree):
+    """A configuration with the tree layer legal on ``tree`` and task-layer
+    defaults (the standard starting point for improvement measurements)."""
+    base = MalleableTreeProtocol().legal_configuration(net, tree)
+    cfg = proto.initial_configuration(net)
+    for v in net.nodes:
+        cfg[v].update(base[v])
+    return cfg
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic measurement exactly once under the timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The execution environment is offline with an older setuptools and no
+``wheel`` package, so PEP 517 editable installs (which need bdist_wheel)
+fail.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` perform a classic develop install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

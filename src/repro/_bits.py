@@ -1,0 +1,71 @@
+"""Bit-size accounting helpers.
+
+The paper's space-complexity claims are stated in bits per register
+(O(log n) for the tree layer and FR labels, O(log^2 n) for the MST labels).
+To *measure* those claims rather than assert them, every register field in
+the runtime carries an encoder; this module provides the arithmetic shared
+by those encoders.
+
+All sizes are exact bit counts for the concrete value domain used by the
+simulator, e.g. an identity drawn from {1, ..., id_space} costs
+``ceil(log2(id_space + 1))`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bits_for_range",
+    "bits_for_id",
+    "bits_for_counter",
+    "bits_for_weight",
+    "bits_for_option",
+    "bits_for_flag",
+    "bits_for_enum",
+]
+
+
+def bits_for_range(cardinality: int) -> int:
+    """Bits needed to store one value out of ``cardinality`` possibilities.
+
+    >>> bits_for_range(1)
+    0
+    >>> bits_for_range(2)
+    1
+    >>> bits_for_range(1024)
+    10
+    """
+    if cardinality < 1:
+        raise ValueError(f"cardinality must be >= 1, got {cardinality}")
+    return math.ceil(math.log2(cardinality)) if cardinality > 1 else 0
+
+
+def bits_for_id(id_space: int) -> int:
+    """Bits for a node identity in {1, ..., id_space}."""
+    return bits_for_range(id_space)
+
+
+def bits_for_counter(max_value: int) -> int:
+    """Bits for an integer counter in {0, ..., max_value}."""
+    return bits_for_range(max_value + 1)
+
+
+def bits_for_weight(weight_space: int) -> int:
+    """Bits for an edge weight in {1, ..., weight_space}."""
+    return bits_for_range(weight_space)
+
+
+def bits_for_option(inner_bits: int) -> int:
+    """Bits for an optional value: one presence bit plus the payload."""
+    return 1 + inner_bits
+
+
+def bits_for_flag() -> int:
+    """Bits for a boolean flag."""
+    return 1
+
+
+def bits_for_enum(n_states: int) -> int:
+    """Bits for an enum with ``n_states`` states."""
+    return bits_for_range(n_states)

@@ -1,0 +1,36 @@
+"""Scaling fits for measured series (rounds vs n, bits vs n).
+
+The paper's claims are asymptotic (O(log n), O(log^2 n), poly(n)); the
+benchmarks check the *shape* of measured series against them:
+
+* :func:`fit_log_exponent` fits ``y ~ c * (log2 n)^e`` by least squares in
+  log-log space over ``log2 n`` — e close to 1 supports O(log n), close to
+  2 supports O(log^2 n);
+* :func:`growth_ratios` reports ``y[i+1] / y[i]`` for doubling ``n`` —
+  polynomial claims show bounded ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["fit_log_exponent", "growth_ratios"]
+
+
+def fit_log_exponent(ns: Sequence[int], ys: Sequence[float]) -> float:
+    """The exponent e of the best fit ``y = c * (log2 n)^e``."""
+    xs = [math.log(math.log2(n)) for n in ns]
+    ls = [math.log(max(y, 1e-9)) for y in ys]
+    mean_x = sum(xs) / len(xs)
+    mean_l = sum(ls) / len(ls)
+    num = sum((x - mean_x) * (l - mean_l) for x, l in zip(xs, ls))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+def growth_ratios(ys: Sequence[float]) -> list[float]:
+    """Successive ratios of a measured series."""
+    return [b / a if a else float("inf") for a, b in zip(ys, ys[1:])]

@@ -1,0 +1,40 @@
+"""Baseline algorithms the paper compares against (Sections I-C, I-D).
+
+Ground truth:
+
+* :mod:`sequential_mst` — Kruskal / Prim / Boruvka;
+* :mod:`exact_mdst` — exact minimum-degree spanning trees by branch and
+  bound (small instances; the problem is NP-hard).
+
+Distributed baselines (faithful in the complexity dimensions the paper
+compares on — memory and silence):
+
+* :mod:`dim_bfs` — a Dolev–Israeli–Moran style ad hoc self-stabilizing BFS;
+* :mod:`bgr_mdst` — a non-silent MDST construction keeping Omega(n log n)
+  bits per node, in the style of ref [16];
+* :mod:`compact_mst` — a non-silent O(log n)-bit MST token walker, in the
+  style of refs [17]/[51].
+"""
+
+from repro.baselines.sequential_mst import (
+    kruskal_mst,
+    prim_mst,
+    boruvka_mst,
+    is_mst,
+)
+from repro.baselines.exact_mdst import exact_minimum_degree, exact_mdst_tree
+from repro.baselines.dim_bfs import AdHocBFSProtocol
+from repro.baselines.compact_mst import CompactNonSilentMST
+from repro.baselines.bgr_mdst import BigMemoryMDST
+
+__all__ = [
+    "kruskal_mst",
+    "prim_mst",
+    "boruvka_mst",
+    "is_mst",
+    "exact_minimum_degree",
+    "exact_mdst_tree",
+    "AdHocBFSProtocol",
+    "CompactNonSilentMST",
+    "BigMemoryMDST",
+]

@@ -1,0 +1,21 @@
+"""The ad hoc self-stabilizing BFS baseline (Dolev–Israeli–Moran style).
+
+The classical non-framework construction the related work recalls: nodes
+greedily adopt the best (root id, distance) claim in their neighborhood.
+This is exactly the :class:`repro.core.sst.SpanningTreeProtocol`; the alias
+exists so the benchmarks read naturally when comparing the paper's
+PLS-guided BFS against the classic ad hoc one (same task, different
+mechanism: the ad hoc protocol re-hooks parents freely and is *not*
+loop-free during convergence, while the guided protocol mutates the tree
+only through verified Section IV switches).
+"""
+
+from repro.core.sst import SpanningTreeProtocol
+
+__all__ = ["AdHocBFSProtocol"]
+
+
+class AdHocBFSProtocol(SpanningTreeProtocol):
+    """The classic baseline under its benchmark name."""
+
+    name = "adhoc-bfs"

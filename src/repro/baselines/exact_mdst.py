@@ -1,0 +1,87 @@
+"""Exact minimum-degree spanning trees by branch and bound.
+
+Deciding ``Delta_min(G) <= k`` is NP-hard (Hamiltonian path is the k = 2
+case, Section II-B of the paper), so this oracle is exponential and only
+meant for the small instances the tests and benchmarks use to certify that
+the Fuerer–Raghavachari output is within +1 of the optimum.
+
+The search walks spanning trees edge by edge (connected expansion) with two
+prunings: degrees are capped at the candidate bound ``k``, and a node whose
+remaining incident capacity cannot connect the remainder is abandoned via
+the standard "all edges decided" cut.  ``exact_minimum_degree`` then binary
+searches ``k`` downward from any heuristic tree.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.network import Network, UWEdge
+
+__all__ = ["spanning_tree_with_max_degree", "exact_minimum_degree", "exact_mdst_tree"]
+
+
+def spanning_tree_with_max_degree(net: Network, k: int) -> set[tuple[int, int]] | None:
+    """A spanning tree with maximum degree <= k, or None if none exists."""
+    if net.n == 1:
+        return set()
+    if k < 1:
+        return None
+    nodes = list(net.nodes)
+    deg = {v: 0 for v in nodes}
+    in_tree = {nodes[0]}
+    chosen: list[tuple[int, int]] = []
+
+    # order frontier expansions deterministically for reproducibility
+    def frontier_edges() -> list[tuple[int, int]]:
+        out = []
+        for u in in_tree:
+            if deg[u] >= k:
+                continue
+            for v in net.neighbors(u):
+                if v not in in_tree:
+                    out.append((u, v))
+        # heuristics: expand toward low-connectivity nodes first
+        out.sort(key=lambda e: (len(net.neighbors(e[1])), e))
+        return out
+
+    def extend() -> bool:
+        if len(in_tree) == net.n:
+            return True
+        candidates = frontier_edges()
+        if not candidates:
+            return False
+        for u, v in candidates:
+            deg[u] += 1
+            deg[v] += 1
+            in_tree.add(v)
+            chosen.append(UWEdge(u, v))
+            if extend():
+                return True
+            chosen.pop()
+            in_tree.discard(v)
+            deg[u] -= 1
+            deg[v] -= 1
+        return False
+
+    if extend():
+        return set(chosen)
+    return None
+
+
+def exact_minimum_degree(net: Network) -> int:
+    """Delta_min(G): the minimum over spanning trees of the maximum degree."""
+    if net.n == 1:
+        return 0
+    # a spanning tree of max degree 1 exists only for a single edge
+    lo = 1
+    for k in range(lo, net.n):
+        if spanning_tree_with_max_degree(net, k) is not None:
+            return k
+    raise AssertionError("a connected graph has a spanning tree of degree < n")
+
+
+def exact_mdst_tree(net: Network) -> set[tuple[int, int]]:
+    """One optimal minimum-degree spanning tree (edge set)."""
+    k = exact_minimum_degree(net)
+    tree = spanning_tree_with_max_degree(net, k)
+    assert tree is not None
+    return tree

@@ -1,0 +1,125 @@
+"""Sequential MST algorithms (ground truth for Section VI).
+
+With pairwise-distinct weights (the paper's w.l.o.g. assumption) the MST is
+unique, so ``kruskal_mst``, ``prim_mst`` and ``boruvka_mst`` must all return
+the same edge set — itself a useful cross-check exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.network import Network, UWEdge
+
+__all__ = ["kruskal_mst", "prim_mst", "boruvka_mst", "is_mst"]
+
+
+class _UnionFind:
+    def __init__(self, items) -> None:
+        self._parent = {x: x for x in items}
+        self._rank = {x: 0 for x in items}
+
+    def find(self, x):
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+
+def kruskal_mst(net: Network) -> set[tuple[int, int]]:
+    """The unique MST by Kruskal's algorithm."""
+    uf = _UnionFind(net.nodes)
+    chosen: set[tuple[int, int]] = set()
+    for e in sorted(net.edges, key=net.weight_of):
+        if uf.union(*e):
+            chosen.add(e)
+    return chosen
+
+
+def prim_mst(net: Network, start: int | None = None) -> set[tuple[int, int]]:
+    """The unique MST by Prim's algorithm (binary-heap free, O(n m))."""
+    start = net.min_id if start is None else start
+    in_tree = {start}
+    chosen: set[tuple[int, int]] = set()
+    while len(in_tree) < net.n:
+        best = None
+        for u in in_tree:
+            for v in net.neighbors(u):
+                if v in in_tree:
+                    continue
+                w = net.weight(u, v)
+                if best is None or w < best[0]:
+                    best = (w, u, v)
+        assert best is not None, "network is connected"
+        _, u, v = best
+        chosen.add(UWEdge(u, v))
+        in_tree.add(v)
+    return chosen
+
+
+def boruvka_mst(net: Network) -> set[tuple[int, int]]:
+    """The unique MST by Boruvka's algorithm (the paper's Section VI engine).
+
+    Each phase selects, for every fragment, its minimum-weight outgoing
+    edge, then merges along the selected edges; at most ceil(log2 n) phases.
+    """
+    fragment = {v: v for v in net.nodes}
+    chosen: set[tuple[int, int]] = set()
+    while len(set(fragment.values())) > 1:
+        best: dict[int, tuple[int, tuple[int, int]]] = {}
+        for e in net.edges:
+            u, v = e
+            fu, fv = fragment[u], fragment[v]
+            if fu == fv:
+                continue
+            w = net.weight_of(e)
+            for f in (fu, fv):
+                if f not in best or w < best[f][0]:
+                    best[f] = (w, e)
+        for _, e in best.values():
+            chosen.add(e)
+        # recompute fragments as components of the chosen edges
+        fragment = _components_min_id(net, chosen)
+    return chosen
+
+
+def _components_min_id(net: Network, edges: set[tuple[int, int]]) -> dict[int, int]:
+    """Component labels (minimum member id) of the subgraph ``edges``."""
+    adj: dict[int, list[int]] = {v: [] for v in net.nodes}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    label: dict[int, int] = {}
+    for v in net.nodes:
+        if v in label:
+            continue
+        comp = [v]
+        seen = {v}
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    comp.append(y)
+                    stack.append(y)
+        mid = min(comp)
+        for x in comp:
+            label[x] = mid
+    return label
+
+
+def is_mst(net: Network, edges: set[tuple[int, int]]) -> bool:
+    """Whether ``edges`` is the (unique) MST of ``net``."""
+    return {UWEdge(*e) for e in edges} == kruskal_mst(net)

@@ -1,0 +1,35 @@
+"""The paper's contribution: PLS-guided silent self-stabilizing tree construction.
+
+Sequential layer (reference engines used as ground truth and by Lemma/Theorem
+reproductions):
+
+* :mod:`trees` — rooted spanning trees, fundamental cycles, edge swaps;
+* :mod:`potential` — cyclical-decreasing and nest-decreasing potentials;
+* :mod:`local_search` — Algorithms 1 and 3 of the paper;
+* :mod:`fr` — the Fuerer-Raghavachari machinery (Algorithm 4).
+
+Distributed layer (guarded-rule protocols for the state model):
+
+* :mod:`sst` — silent spanning-tree + leader-election substrate;
+* :mod:`waves` — bounded min/max fixpoints, convergecast/broadcast builders;
+* :mod:`pif` — root-coordinated phases with feedback;
+* :mod:`swap` — the Section IV three-phase loop-free edge switch;
+* :mod:`cycles` — fundamental-cycle membership from NCA labels (Section V);
+* :mod:`bfs`, :mod:`mst`, :mod:`mdst` — the three task instantiations.
+"""
+
+from repro.core.trees import (
+    RootedTree,
+    bfs_tree,
+    dfs_tree,
+    random_spanning_tree,
+    tree_from_edges,
+)
+
+__all__ = [
+    "RootedTree",
+    "bfs_tree",
+    "dfs_tree",
+    "random_spanning_tree",
+    "tree_from_edges",
+]

@@ -1,0 +1,65 @@
+"""PLS-guided BFS construction (the worked example of Section III).
+
+The potential: with the tree rooted at ``r`` and every node labeled by its
+tree depth, ``phi(T) = sum_u |d_T(u) - dist_G(u, r)|``.  It is zero exactly
+on BFS trees, and cyclical-decreasing: a node ``u`` with a graph neighbor
+``v`` such that ``d(v) + 1 < d(u)`` yields the improvement
+``e = {u, v}, f = {u, p(u)}`` (re-parenting ``u`` onto ``v`` lowers the
+whole subtree of ``u``, so every |.| term weakly decreases and ``u``'s
+strictly).  ``phi_max = O(n^2)``.
+
+This module hosts the sequential potential; the distributed silent
+self-stabilizing protocol built on it lives in
+:class:`repro.core.tasks.bfs_protocol` (see :mod:`repro.core.tasks`).
+"""
+
+from __future__ import annotations
+
+from repro.core.potential import CyclicalDecreasingPotential
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+
+__all__ = ["BFSPotential", "is_bfs_tree"]
+
+
+def is_bfs_tree(net: Network, tree: RootedTree) -> bool:
+    """Whether every node's tree depth equals its graph distance to the root."""
+    dist = net.bfs_distances(tree.root)
+    return all(tree.depth(v) == dist[v] for v in net.nodes)
+
+
+class BFSPotential(CyclicalDecreasingPotential):
+    """phi(T) = sum |d_T(u) - dist_G(u, root)| (Section III example)."""
+
+    name = "bfs-potential"
+
+    def value(self, net: Network, tree: RootedTree) -> int:
+        dist = net.bfs_distances(tree.root)
+        return sum(abs(tree.depth(v) - dist[v]) for v in net.nodes)
+
+    def find_improvement(self, net: Network, tree: RootedTree):
+        """The deepest-gain candidate: u rejecting because a neighbor v has
+        d(v) < d(u) - 1 (the paper lets the root arbitrate ties; we pick the
+        largest gain, then smallest ids, for determinism)."""
+        best = None
+        for u in net.nodes:
+            if tree.parent(u) is None:
+                continue
+            du = tree.depth(u)
+            for v in net.neighbors(u):
+                dv = tree.depth(v)
+                if dv + 1 < du:
+                    gain = du - (dv + 1)
+                    cand = (-gain, u, v)
+                    if best is None or cand < best:
+                        best = cand
+        if best is None:
+            return None
+        _, u, v = best
+        e = (u, v)
+        f = (u, tree.parent(u))
+        return e, f
+
+    def max_value(self, net: Network) -> int:
+        # every term is at most n - 1
+        return net.n * (net.n - 1)

@@ -1,0 +1,44 @@
+"""Fundamental-cycle membership from NCA labels (Section V).
+
+Given the labels ``lambda(u)``, ``lambda(v)`` of the endpoints of a
+designated non-tree edge ``e = {u, v}``, every node ``x`` decides from its
+own label whether it lies on the fundamental cycle ``C`` of ``T + e``:
+
+    x in C  iff  ( nca(x,u) = x and nca(x,v) = w )
+             or  ( nca(x,u) = w and nca(x,v) = x )
+
+where ``w = nca(u, v)`` — i.e. ``x`` is on the tree path from ``u`` up to
+``w`` or from ``v`` up to ``w``.  This predicate is what lets the
+distributed protocols of Sections VI and VIII mark cycles, find extremal
+cycle edges, and schedule the chain of local switches, all with O(log n)
+bits per node.
+"""
+
+from __future__ import annotations
+
+from repro.labeling.nca import NCALabel, label_is_ancestor, nca_of_labels
+
+__all__ = [
+    "on_fundamental_cycle",
+    "on_chain_segment",
+]
+
+
+def on_fundamental_cycle(lx: NCALabel, lu: NCALabel, lv: NCALabel) -> bool:
+    """The paper's membership predicate (Section V), from labels alone."""
+    w = nca_of_labels(lu, lv)
+    xu = nca_of_labels(lx, lu)
+    xv = nca_of_labels(lx, lv)
+    return (xu == lx and xv == w) or (xu == w and xv == lx)
+
+
+def on_chain_segment(lx: NCALabel, la: NCALabel, ltop: NCALabel) -> bool:
+    """Whether ``x`` lies on the tree path from ``a`` up to ``top``
+    (inclusive), assuming ``top`` is an ancestor of ``a``.
+
+    Used by the switch scheduler: when replacing tree edge ``f = {c, p(c)}``
+    (child side ``c = top``) by non-tree edge ``e`` with endpoint ``a``
+    inside the detached subtree, the nodes that re-parent are exactly the
+    path from ``a`` up to ``c``.
+    """
+    return label_is_ancestor(lx, la) and label_is_ancestor(ltop, lx)

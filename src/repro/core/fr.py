@@ -1,0 +1,275 @@
+"""The Fuerer–Raghavachari machinery (Section VIII, Algorithm 4, ref [33]).
+
+**FR-trees** (Definition 8.1): a degree-``k`` spanning tree ``T`` is an
+FR-tree if its nodes can be marked good/bad such that (1) every node of
+degree ``k`` is bad, (2) every node of degree <= ``k - 2`` is good, and
+(3) no graph edge joins good nodes of two different *fragments* (components
+of ``T`` minus the bad nodes).  By Theorem 2.2 of [33], every FR-tree has
+degree at most ``Delta_min(G) + 1`` — so certifying FR-ness certifies
+near-optimality, which is exactly what the paper's O(log n)-bit PLS
+(Lemma 8.1) exploits.
+
+**The marking cascade** (Algorithm 4 lines 3–9).  Start with good = nodes
+of degree <= k - 2.  While some graph edge ``e`` joins good nodes of two
+different fragments, mark every node of the fundamental cycle of ``T + e``
+good (recording ``e`` as those nodes' *witness*) and merge the fragments.
+The cascade is a complete decision procedure for Definition 8.1: for any
+valid marking M, cascade-good is contained in M-good by induction (if the
+cascade merges along ``e``, M must have ``e``'s endpoints in one fragment,
+so the whole cycle is already M-good) — hence if the cascade ever marks a
+degree-``k`` node good, no valid marking exists.
+
+**Improvements** (Algorithm 4 lines 10–14).  A good degree-``k`` node ``w``
+can have its degree reduced by a *well-nested* sequence of swaps: insert
+``w``'s witness edge ``e`` and remove a cycle edge at ``w`` — after first
+recursively reducing any endpoint of ``e`` whose current degree exceeds
+``k - 2`` via that endpoint's own witness.  Each completed sequence
+decreases the number of degree-``k`` nodes by one without ever creating a
+node of degree ``k + 1``, so the pair ``(degree, #max-degree-nodes)``
+decreases lexicographically and the loop terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trees import RootedTree, bfs_tree
+from repro.graphs.network import Network, UWEdge
+
+__all__ = [
+    "FRMarking",
+    "FRRun",
+    "fr_marking",
+    "is_fr_tree",
+    "improvement_session",
+    "fuerer_raghavachari",
+]
+
+
+@dataclass
+class FRMarking:
+    """The cascade's result on one tree."""
+
+    degree: int                          # k = deg(T)
+    good: set[int]
+    witness: dict[int, tuple[int, int]]  # formerly-bad node -> cascade edge
+    witness_step: dict[int, int]         # node -> cascade step that marked it
+    fragments: dict[int, int]            # good node -> fragment id (min member)
+    fragment_dist: dict[int, int]        # good node -> hops to the id owner
+    improvable: list[int]                # good nodes of degree k (sorted)
+    cascade_steps: int = 0
+
+    @property
+    def is_fr(self) -> bool:
+        return not self.improvable
+
+
+@dataclass
+class FRRun:
+    """Outcome of the full Algorithm 4 loop."""
+
+    tree: RootedTree
+    marking: FRMarking
+    improvements: int
+    swaps: int
+    degree_history: list[int] = field(default_factory=list)
+
+    @property
+    def degree(self) -> int:
+        return self.marking.degree
+
+
+def _good_fragments(net: Network, tree: RootedTree, good: set[int],
+                    ) -> tuple[dict[int, int], dict[int, int]]:
+    """Components of good nodes in T: (fragment id, hops to the id owner)."""
+    frag: dict[int, int] = {}
+    fdist: dict[int, int] = {}
+    seen: set[int] = set()
+    for v in good:
+        if v in seen:
+            continue
+        comp = [v]
+        seen.add(v)
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for y in tree.tree_neighbors(x):
+                if y in good and y not in seen:
+                    seen.add(y)
+                    comp.append(y)
+                    stack.append(y)
+        owner = min(comp)
+        dd = {owner: 0}
+        frontier = [owner]
+        while frontier:
+            nxt = []
+            for x in frontier:
+                for y in tree.tree_neighbors(x):
+                    if y in good and y not in dd:
+                        dd[y] = dd[x] + 1
+                        nxt.append(y)
+            frontier = nxt
+        for x in comp:
+            frag[x] = owner
+            fdist[x] = dd[x]
+    return frag, fdist
+
+
+def fr_marking(net: Network, tree: RootedTree) -> FRMarking:
+    """Run the marking cascade (Algorithm 4, lines 3–9).
+
+    Stops, as the algorithm does, as soon as a degree-``k`` node turns good
+    (the tree is then improvable) or no inter-fragment edge remains (the
+    tree is an FR-tree with the computed marking).
+    """
+    k = tree.max_degree()
+    good = {v for v in net.nodes if tree.degree(v) <= k - 2}
+    witness: dict[int, tuple[int, int]] = {}
+    witness_step: dict[int, int] = {}
+    frag, fdist = _good_fragments(net, tree, good)
+    step = 0
+    while True:
+        if any(tree.degree(v) == k for v in good):
+            break
+        bridge = None
+        for e in sorted(net.edges):
+            u, v = e
+            if (u in good and v in good and frag[u] != frag[v]
+                    and not tree.has_edge(u, v)):
+                bridge = e
+                break
+        if bridge is None:
+            break
+        step += 1
+        for x in tree.fundamental_cycle(bridge):
+            if x not in good:
+                good.add(x)
+                witness[x] = bridge
+                witness_step[x] = step
+        frag, fdist = _good_fragments(net, tree, good)
+    improvable = sorted(v for v in good if tree.degree(v) == k)
+    return FRMarking(degree=k, good=good, witness=witness,
+                     witness_step=witness_step, fragments=frag,
+                     fragment_dist=fdist, improvable=improvable,
+                     cascade_steps=step)
+
+
+def is_fr_tree(net: Network, tree: RootedTree) -> bool:
+    """Definition 8.1 membership (via the cascade, see module docstring)."""
+    return fr_marking(net, tree).is_fr
+
+
+class _Blocked(Exception):
+    """An improvement plan hit a node it cannot legally reduce."""
+
+
+def improvement_session(net: Network, tree: RootedTree, marking: FRMarking,
+                        target: int) -> tuple[list, RootedTree] | None:
+    """Plan the well-nested swap sequence reducing ``deg(target)`` by one.
+
+    Pure planning: returns ``(swap list, resulting tree)`` or None when the
+    plan is blocked (e.g. a witness edge was consumed by an inner swap) —
+    in which case the caller retries with another target or re-runs the
+    cascade.  Invariants enforced while planning: no node ever reaches
+    degree ``k + 1``, every insert lands on endpoints of degree <= k - 2.
+    """
+    k = marking.degree
+    cur = tree
+    planned: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    improved: set[int] = set()
+
+    def reduce(x: int) -> None:
+        nonlocal cur
+        if x in improved or x not in marking.witness:
+            raise _Blocked(x)
+        improved.add(x)
+        e = marking.witness[x]
+        u, v = e
+        for z in (u, v):
+            if cur.degree(z) >= k:      # cannot be fixed by one reduction
+                raise _Blocked(z)
+            if cur.degree(z) == k - 1:
+                reduce(z)
+                if cur.degree(z) != k - 2:
+                    raise _Blocked(z)
+        if cur.has_edge(u, v):
+            raise _Blocked(x)           # witness consumed by an inner swap
+        cycle_edges = cur.fundamental_cycle_edges(e)
+        at_x = [g for g in cycle_edges if x in g]
+        if not at_x:
+            raise _Blocked(x)           # x fell off the witness cycle
+        f = at_x[0]
+        cur = cur.swap(e, f)
+        planned.append((e, f))
+
+    try:
+        reduce(target)
+    except _Blocked:
+        return None
+    assert cur.max_degree() <= k
+    assert cur.degree(target) == tree.degree(target) - 1
+    return planned, cur
+
+
+def _direct_improvement(net: Network, tree: RootedTree, k: int,
+                        ) -> tuple[list, RootedTree] | None:
+    """Fallback: a single swap reducing some degree-``k`` node, using any
+    non-tree edge with slack endpoints whose cycle crosses it."""
+    hot = [v for v in net.nodes if tree.degree(v) == k]
+    for e in tree.non_tree_edges():
+        u, v = e
+        if tree.degree(u) > k - 2 or tree.degree(v) > k - 2:
+            continue
+        cycle = tree.fundamental_cycle(e)
+        for x in hot:
+            if x not in cycle:
+                continue
+            at_x = [g for g in tree.fundamental_cycle_edges(e) if x in g]
+            f = at_x[0]
+            return [(e, f)], tree.swap(e, f)
+    return None
+
+
+def fuerer_raghavachari(net: Network, initial_tree: RootedTree | None = None,
+                        ) -> FRRun:
+    """The full Algorithm 4 loop: cascade, improve, repeat until FR.
+
+    Terminates because each applied improvement strictly decreases
+    ``(deg(T), #nodes of degree deg(T))`` lexicographically; a budget guard
+    raises if that metric ever fails to decrease.
+    """
+    tree = initial_tree if initial_tree is not None else bfs_tree(net)
+    improvements = 0
+    swaps = 0
+    degree_history = [tree.max_degree()]
+    budget = net.n * net.n + net.n  # lexicographic metric takes <= n*Delta steps
+    while True:
+        marking = fr_marking(net, tree)
+        if marking.is_fr:
+            return FRRun(tree=tree, marking=marking, improvements=improvements,
+                         swaps=swaps, degree_history=degree_history)
+        before = _metric(net, tree)
+        plan = None
+        for w in marking.improvable:
+            plan = improvement_session(net, tree, marking, w)
+            if plan is not None:
+                break
+        if plan is None:
+            plan = _direct_improvement(net, tree, marking.degree)
+        if plan is None:
+            raise RuntimeError(
+                f"FR: improvable tree but no applicable improvement "
+                f"(n={net.n}, degree={marking.degree})")
+        seq, tree = plan
+        improvements += 1
+        swaps += len(seq)
+        degree_history.append(tree.max_degree())
+        if _metric(net, tree) >= before:
+            raise RuntimeError("FR: improvement did not decrease the metric")
+        if improvements > budget:
+            raise RuntimeError("FR: improvement budget exceeded")
+
+
+def _metric(net: Network, tree: RootedTree) -> tuple[int, int]:
+    k = tree.max_degree()
+    return (k, sum(1 for v in net.nodes if tree.degree(v) == k))

@@ -1,0 +1,74 @@
+"""Potential functions over spanning trees (Sections III and VII).
+
+A family ``F`` of spanning trees *admits a local search algorithm* when a
+potential ``phi`` over spanning trees satisfies:
+
+1. ``phi(T) >= 0``;
+2. ``phi(T) = 0`` iff ``T`` belongs to ``F``;
+3. (*cyclical-decreasing*, Section III) if ``phi(T) > 0`` there are edges
+   ``e not in T`` and ``f`` on the fundamental cycle of ``T + e`` with
+   ``phi(T + e - f) < phi(T)``; or
+   (*nest-decreasing*, Section VII) there is a *well-nested* sequence of
+   such pairs whose combined application decreases ``phi``.
+
+These interfaces are consumed by the Algorithm 1 / Algorithm 3 engines in
+:mod:`repro.core.local_search` and mirrored by the distributed protocols.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+
+__all__ = ["CyclicalDecreasingPotential", "NestDecreasingPotential"]
+
+
+class CyclicalDecreasingPotential(ABC):
+    """A potential with single-swap improvements (Algorithm 1 material)."""
+
+    #: short name used in reports
+    name: str = "potential"
+
+    @abstractmethod
+    def value(self, net: Network, tree: RootedTree) -> int:
+        """phi(T) >= 0; zero exactly on the target family."""
+
+    @abstractmethod
+    def find_improvement(self, net: Network, tree: RootedTree,
+                         ) -> tuple[tuple[int, int], tuple[int, int]] | None:
+        """An ``(e, f)`` pair with ``phi(T + e - f) < phi(T)``, or None when
+        ``phi(T) = 0``."""
+
+    @abstractmethod
+    def max_value(self, net: Network) -> int:
+        """An upper bound phi_max on phi over all spanning trees of net."""
+
+    def is_member(self, net: Network, tree: RootedTree) -> bool:
+        """Whether T belongs to the family (phi = 0)."""
+        return self.value(net, tree) == 0
+
+
+class NestDecreasingPotential(ABC):
+    """A potential improved by well-nested swap sequences (Algorithm 3)."""
+
+    name: str = "nest-potential"
+
+    @abstractmethod
+    def value(self, net: Network, tree: RootedTree) -> int:
+        """phi(T) >= 0; zero exactly on the target family."""
+
+    @abstractmethod
+    def find_improving_sequence(self, net: Network, tree: RootedTree,
+                                ) -> list[tuple[tuple[int, int], tuple[int, int]]] | None:
+        """A well-nested sequence of ``(e_i, f_i)`` pairs whose application
+        (in order, each ``f_i`` on the fundamental cycle of the *current*
+        tree plus ``e_i``) strictly decreases phi; None when phi = 0."""
+
+    @abstractmethod
+    def max_value(self, net: Network) -> int:
+        """An upper bound on phi."""
+
+    def is_member(self, net: Network, tree: RootedTree) -> bool:
+        return self.value(net, tree) == 0

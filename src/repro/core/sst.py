@@ -1,0 +1,112 @@
+"""Silent self-stabilizing spanning tree + leader election (guarded rules).
+
+This is instruction 1 of Algorithms 1 and 3 — the paper delegates it to
+Datta–Larmore–Vemula [25]; we implement the classical bounded-distance
+construction that plays that role:
+
+* every node maintains ``(rid, par, d)``: the claimed root identity, parent
+  pointer, and distance to the root;
+* a node adopts the smallest root claim reachable through a neighbor,
+  breaking ties by distance, as long as the distance stays below the public
+  bound ``N >= n`` (the *incorruptible* constant ``n_bound``);
+* claims of identities with no live owner ("ghost roots", planted by
+  transient faults) are flushed because their minimal supporting distance
+  strictly increases every round until it hits ``N``.
+
+The protocol is silent: in the unique stable configuration every node
+carries ``rid = min identity``, ``d = `` its BFS distance to that node, and
+a parent realizing it.  Registers are O(log n) bits.  Stabilization takes
+O(N) rounds under every scheduler (tested under all daemons from arbitrary
+configurations).
+
+This protocol doubles as the classical *ad hoc* BFS baseline of the
+related-work discussion (Dolev–Israeli–Moran style); the paper's
+PLS-guided machinery in :mod:`repro.core.swap` / :mod:`repro.core.tasks`
+maintains arbitrary trees instead, and only this layer's *rule structure*
+is reused there for recovery after faults.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.network import Network
+from repro.runtime.protocol import NodeView, Protocol
+from repro.runtime.registers import (
+    NONE,
+    RegisterSpec,
+    counter_field,
+    id_field,
+    opt_id_field,
+)
+
+__all__ = ["SpanningTreeProtocol"]
+
+
+class SpanningTreeProtocol(Protocol):
+    """Min-identity leader election with a BFS spanning tree, silent."""
+
+    name = "sst"
+
+    def register_spec(self, net: Network) -> RegisterSpec:
+        return RegisterSpec([
+            id_field("rid"),
+            opt_id_field("par"),
+            counter_field("d", lambda n: n.n_bound),
+        ])
+
+    def step(self, view: NodeView) -> dict | None:
+        me = view.id
+        # all reachable claims: my own candidacy plus every neighbor claim
+        # strictly better than my identity, with room left in the distance
+        # bound (claims at distance >= N cannot be extended)
+        best_rid, best_d = me, 0
+        for u in view.neighbors:
+            st = view.nbr(u)
+            rid_u, d_u = st["rid"], st["d"]
+            if not isinstance(rid_u, int) or not isinstance(d_u, int):
+                continue
+            if rid_u < me and 0 <= d_u and d_u + 1 < view.n_bound:
+                if (rid_u, d_u + 1) < (best_rid, best_d):
+                    best_rid, best_d = rid_u, d_u + 1
+        if self._current_is_stable(view, best_rid, best_d):
+            return None
+        if best_rid == me:
+            return {"rid": me, "par": NONE, "d": 0}
+        # deterministic tie-break: the smallest neighbor offering the claim
+        par = min(u for u in view.neighbors
+                  if view.nbr(u)["rid"] == best_rid
+                  and view.nbr(u)["d"] == best_d - 1)
+        return {"rid": best_rid, "par": par, "d": best_d}
+
+    def _current_is_stable(self, view: NodeView, best_rid: int,
+                           best_d: int) -> bool:
+        """Whether the node's current claim is valid and as good as the best
+        available candidate (any valid parent achieving it is acceptable —
+        the rule does not churn between equivalent parents)."""
+        rid, par, d = view["rid"], view["par"], view["d"]
+        if (rid, d) != (best_rid, best_d):
+            return False
+        if par is NONE:
+            return rid == view.id and d == 0
+        if par not in view.neighbors:
+            return False
+        pst = view.nbr(par)
+        return pst["rid"] == rid and pst["d"] == d - 1 and rid < view.id
+
+    def is_legal(self, net: Network, config) -> bool:
+        """Legal: the min-identity BFS tree with exact distances."""
+        root = net.min_id
+        dist = net.bfs_distances(root)
+        for v in net.nodes:
+            st = config[v]
+            if st["rid"] != root or st["d"] != dist[v]:
+                return False
+            if v == root:
+                if st["par"] is not NONE:
+                    return False
+            else:
+                p = st["par"]
+                if p is NONE or p not in net.neighbors(v):
+                    return False
+                if dist[p] != dist[v] - 1:
+                    return False
+        return True

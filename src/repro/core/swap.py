@@ -1,0 +1,301 @@
+"""The distributed tree layer with loop-free edge switching (Section IV).
+
+One protocol maintains, at every node, the register
+``(rid, par, d, s, mark, swt)``:
+
+* ``(rid, par, d, s)`` is the *redundant labeling* of the malleable scheme
+  (Lemma 4.1): root identity, parent pointer, distance to the root and
+  subtree size, where ``d`` / ``s`` may hold the discard symbol NONE;
+* ``mark`` is the prune-size wave flag: it is raised at the old parent
+  ``w`` (which sees a child requesting a switch) and at the new parent
+  ``w'`` (which sees a neighbor targeting it), climbs to the root along
+  parent pointers, and sizes are then pruned *downward* along the marked
+  paths — exactly the wave order of Fig. 1(b), which keeps every
+  intermediate configuration accepted by the Lemma 4.1 verifier;
+* ``swt`` is the switch request: setting ``swt = w'`` at node ``v`` makes
+  the protocol perform the three phases of the local switch
+  ``p(v): w -> w'`` and clear ``swt`` at the switching step.
+
+Rule groups (every step writes the whole register atomically):
+
+1. *construction/adoption* (the SST rules of :mod:`repro.core.sst`): fire
+   only on structural breakage — wrong root claims, invalid parents,
+   counter overflow — and rebuild the tree toward the min-identity root;
+2. *switching*: an initiator with ``swt = w'`` waits until ``w`` and ``w'``
+   show ``(d, _)`` and all its children show ``(_, s)``, then atomically
+   re-parents and updates its distance;
+3. *mark maintenance*: ``mark`` is a pure function of the neighborhood
+   (self-correcting: spurious marks collapse);
+4. *size rules*: marked nodes prune top-down (a node prunes when its parent
+   is pruned or it is the root); unmarked nodes recompute ``1 + sum of
+   children`` bottom-up once every child is concrete; overflow (> N) resets;
+5. *distance rules*: children of a node with a pending switch prune; NONE
+   propagates downward; otherwise ``d = d(parent) + 1`` chases, and
+   overflow (>= N) resets — this is what flushes parent-pointer cycles.
+
+Silence: on a correctly labeled tree with no pending ``swt`` no rule fires.
+"""
+
+from __future__ import annotations
+
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+from repro.labeling.malleable import MalleableLabel, MalleablePLS
+from repro.runtime.protocol import NodeView, Protocol
+from repro.runtime.registers import (
+    NONE,
+    RegisterSpec,
+    counter_field,
+    flag_field,
+    id_field,
+    opt_counter_field,
+    opt_id_field,
+)
+
+__all__ = ["MalleableTreeProtocol", "tree_of_config", "malleable_labels_of_config"]
+
+
+def tree_of_config(net: Network, config) -> RootedTree:
+    """The tree encoded by the parent pointers (raises if not a tree)."""
+    parent = {v: (None if config[v]["par"] is NONE else config[v]["par"])
+              for v in net.nodes}
+    return RootedTree(net, parent)
+
+
+def malleable_labels_of_config(net: Network, config) -> dict[int, MalleableLabel]:
+    """Project a configuration onto Lemma 4.1 labels (for the verifier)."""
+    out = {}
+    for v in net.nodes:
+        st = config[v]
+        out[v] = MalleableLabel(
+            rid=st["rid"],
+            par=None if st["par"] is NONE else st["par"],
+            d=None if st["d"] is NONE else st["d"],
+            s=None if st["s"] is NONE else st["s"],
+        )
+    return out
+
+
+class MalleableTreeProtocol(Protocol):
+    """Tree maintenance + the Section IV switch, as one guarded-rule layer."""
+
+    name = "malleable-tree"
+
+    def register_spec(self, net: Network) -> RegisterSpec:
+        return RegisterSpec([
+            id_field("rid"),
+            opt_id_field("par"),
+            opt_counter_field("d", lambda n: n.n_bound),
+            opt_counter_field("s", lambda n: n.n_bound),
+            flag_field("mark"),
+            opt_id_field("swt"),
+        ])
+
+    # ------------------------------------------------------------------
+    # the transition function
+    # ------------------------------------------------------------------
+
+    def step(self, view: NodeView) -> dict | None:
+        cur = view.state
+        intended = self._intended(view)
+        delta = {k: v for k, v in intended.items() if cur[k] != v}
+        return delta or None
+
+    def _intended(self, view: NodeView) -> dict:
+        me = view.id
+        rid, par = view["rid"], view["par"]
+        d, s, swt = view["d"], view["s"], view["swt"]
+
+        # ---- 1. construction / adoption --------------------------------
+        rebuilt = self._structural(view)
+        if rebuilt is not None:
+            return rebuilt
+        # here: par is NONE with rid == me, or par is a neighbor sharing rid
+
+        new_mark = self._trigger(view)
+
+        # ---- 2. switching ----------------------------------------------
+        new_par, new_d = par, d
+        new_swt = swt
+        if swt is not NONE:
+            if not self._switch_request_sane(view):
+                new_swt = NONE
+            elif self._switch_ready(view):
+                new_par = swt
+                new_d = view.nbr(swt)["d"] + 1
+                new_swt = NONE
+            # else: hold everything, waiting for the waves
+
+        # ---- 4. size rules ---------------------------------------------
+        children = [u for u in view.neighbors if view.nbr(u)["par"] == me]
+        new_s = s
+        if new_mark:
+            parent_pruned = (new_par is NONE
+                             or view.nbr(new_par)["s"] is NONE)
+            if parent_pruned:
+                new_s = NONE
+            # else: hold s until the prune wave descends to the parent
+        else:
+            child_sizes = [view.nbr(c)["s"] for c in children]
+            if all(cs is not NONE for cs in child_sizes):
+                total = 1 + sum(child_sizes)
+                if total > view.n_bound:
+                    return self._self_root(view)
+                new_s = total
+            # else: hold (a wave below is still collapsing)
+
+        # ---- 5. distance rules ------------------------------------------
+        if new_par is NONE:
+            new_d = 0
+        elif new_par == swt and new_swt is NONE and swt is not NONE:
+            pass  # new_d already set by the switch
+        else:
+            pst = view.nbr(new_par)
+            if pst["swt"] is not NONE:
+                new_d = NONE          # pre-switch pruning below the initiator
+            elif pst["d"] is NONE:
+                new_d = NONE          # pruning propagates downward
+            else:
+                want = pst["d"] + 1
+                if want >= view.n_bound:
+                    return self._self_root(view)
+                new_d = want
+
+        # (NONE, NONE) labels are forbidden by the scheme and never arise in
+        # legal operation (path prunes keep d, subtree prunes keep s); a node
+        # reaching it — e.g. on a parent cycle where neither counter can
+        # settle — resets, which is what breaks such cycles
+        if new_d is NONE and new_s is NONE:
+            return self._self_root(view)
+        return {"rid": rid, "par": new_par, "d": new_d, "s": new_s,
+                "mark": new_mark, "swt": new_swt}
+
+    # ------------------------------------------------------------------
+    # rule helpers
+    # ------------------------------------------------------------------
+
+    def _structural(self, view: NodeView) -> dict | None:
+        """The SST-style adoption layer; None when structurally sound."""
+        me = view.id
+        rid, par = view["rid"], view["par"]
+        broken = False
+        if par is NONE:
+            broken = rid != me
+        else:
+            broken = (par not in view.neighbors
+                      or view.nbr(par)["rid"] != rid
+                      or rid >= me)
+        # a visibly better root claim makes the node out of date
+        best = self._best_claim(view)
+        if not broken and best is not None and best[0] < rid:
+            broken = True
+        if not broken:
+            return None
+        if best is None or best[0] >= me:
+            return self._self_root(view)
+        brid, bd, bpar = best
+        # s = 1 is a concrete placeholder: the bottom-up size fixpoint
+        # corrects it, and concreteness keeps the (NONE, NONE) reset rule
+        # from misfiring while neighbors still hold garbage requests
+        return {"rid": brid, "par": bpar, "d": bd + 1, "s": 1,
+                "mark": False, "swt": NONE}
+
+    def _best_claim(self, view: NodeView):
+        """The best adoptable neighbor claim (rid, d, neighbor) or None."""
+        best = None
+        for u in view.neighbors:
+            st = view.nbr(u)
+            rid_u, d_u = st["rid"], st["d"]
+            if not isinstance(rid_u, int) or rid_u >= view.id:
+                continue
+            if d_u is NONE or not isinstance(d_u, int):
+                continue
+            if d_u + 1 >= view.n_bound:
+                continue
+            cand = (rid_u, d_u, u)
+            if best is None or cand < best:
+                best = cand
+        return best
+
+    def _self_root(self, view: NodeView) -> dict:
+        return {"rid": view.id, "par": NONE, "d": 0, "s": 1,
+                "mark": False, "swt": NONE}
+
+    def _trigger(self, view: NodeView) -> bool:
+        """mark = I am w (child requests a switch) or w' (a neighbor targets
+        me) or the wave is climbing through me (a marked child)."""
+        me = view.id
+        for u in view.neighbors:
+            st = view.nbr(u)
+            if st["par"] == me and (st["swt"] is not NONE or st["mark"]):
+                return True
+            if st["swt"] == me:
+                return True
+        return False
+
+    def _switch_request_sane(self, view: NodeView) -> bool:
+        swt = view["swt"]
+        if swt not in view.neighbors:
+            return False
+        if view["par"] is NONE or swt == view["par"]:
+            return False
+        return view.nbr(swt)["rid"] == view["rid"]
+
+    def _switch_ready(self, view: NodeView) -> bool:
+        """Fig. 1(b): w and w' both (d, _), all children (_, s), self intact."""
+        me = view.id
+        w = view["par"]
+        wp = view["swt"]
+        wst, wpst = view.nbr(w), view.nbr(wp)
+        if wst["s"] is not NONE or wst["d"] is NONE:
+            return False
+        if wpst["s"] is not NONE or wpst["d"] is NONE:
+            return False
+        if wpst["d"] + 1 >= view.n_bound:
+            return False
+        if view["d"] is NONE or view["s"] is NONE:
+            return False
+        for u in view.neighbors:
+            st = view.nbr(u)
+            if st["par"] == me:
+                if st["d"] is not NONE or st["s"] is NONE:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # legality (for tests)
+    # ------------------------------------------------------------------
+
+    def is_legal(self, net: Network, config) -> bool:
+        """Legal: a spanning tree rooted at the min identity with the full
+        (unpruned) redundant labeling, no marks, no pending switches."""
+        try:
+            tree = tree_of_config(net, config)
+        except ValueError:
+            return False
+        if tree.root != net.min_id:
+            return False
+        sizes = tree.subtree_sizes()
+        for v in net.nodes:
+            st = config[v]
+            if st["rid"] != net.min_id or st["mark"] or st["swt"] is not NONE:
+                return False
+            if st["d"] != tree.depth(v) or st["s"] != sizes[v]:
+                return False
+        return True
+
+    def verifier_accepts(self, net: Network, config) -> bool:
+        """The Lemma 4.1 verifier on the (rid, par, d, s) projection."""
+        return MalleablePLS().verify(net, malleable_labels_of_config(net, config)).accepted
+
+    def legal_configuration(self, net: Network, tree: RootedTree) -> dict:
+        """The silent configuration encoding a given tree (for tests)."""
+        sizes = tree.subtree_sizes()
+        return {
+            v: {
+                "rid": tree.root, "par": tree.parent(v) or NONE,
+                "d": tree.depth(v), "s": sizes[v],
+                "mark": False, "swt": NONE,
+            }
+            for v in net.nodes
+        }

@@ -1,0 +1,605 @@
+"""Distributed PLS-guided task protocols (Theorems 3.1 / 7.1, end to end).
+
+Every task composes three ingredients, all guarded rules in the state
+model:
+
+* the :class:`~repro.core.swap.MalleableTreeProtocol` layer below —
+  construction, redundant (d, s) labels, and the Section IV switch;
+* task labels maintained as self-correcting fixpoints on the stable tree
+  (distances for BFS; NCA labels and Boruvka traces for MST);
+* a root-coordinated improvement loop in the style of Algorithm 1: the
+  root cycles through *phases*, broadcast down the tree and acknowledged
+  back up (a propagation-of-information-with-feedback discipline):
+
+  - ``WORK``: labels settle; every node aggregates its best improvement
+    candidate (convergecast); when the root's subtree is fully acked and no
+    candidate exists, the system is legal and **silent**;
+  - intermediate find phases where needed (MST aggregates the heaviest
+    cycle edge for the chosen non-tree edge);
+  - ``SWAP``: the chosen pair is broadcast; the nodes of the chain execute
+    their local switches in order (each fires when its former chain child
+    has completed, Fig. 1a), and completion flows back up as
+    acknowledgements.
+
+Self-stabilization is hierarchical: the tree layer recovers structure; the
+phase/ack/candidate fields are self-correcting on the stable tree; a
+spurious phase or stale candidate can cause at most a bounded number of
+valid-but-useless switches before genuine WORK data drives real progress.
+"""
+
+from __future__ import annotations
+
+from repro.core.swap import MalleableTreeProtocol, tree_of_config
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+from repro.labeling.nca import NCALabel, label_is_ancestor, nca_of_labels
+from repro.runtime.protocol import ComposedProtocol, NodeView, Protocol
+from repro.runtime.registers import (
+    NONE,
+    RegisterSpec,
+    custom_field,
+    enum_field,
+    flag_field,
+)
+
+__all__ = [
+    "PhaseLayer",
+    "GuidedBFS",
+    "GuidedMST",
+    "GuidedMDST",
+    "NCALabelLayer",
+    "guided_bfs_protocol",
+    "guided_mst_protocol",
+    "guided_mdst_protocol",
+]
+
+WORK = "WORK"
+FINDF = "FINDF"
+SWAP = "SWAP"
+
+
+def _payload_field(name: str):
+    """A broadcast/aggregation slot holding a small tuple or NONE.
+
+    Bit accounting: payloads carry O(1) identities/weights plus up to two
+    NCA labels; the analysis code measures NCA labels in their
+    Gilbert–Moore wire format, the structural tuple here is the simulator
+    representation.
+    """
+
+    def bits(net, value):
+        if value is NONE:
+            return 1
+        return 1 + 6 * net.id_bits() + 2 * _label_bits(net, value)
+
+    def corrupt(net, node, rng):
+        if rng.random() < 0.5:
+            return NONE
+        arity = rng.choice((2, 3))
+        return tuple(rng.randint(1, net.id_space) for _ in range(arity))
+
+    return custom_field(name, lambda net, node: NONE, bits, corrupt)
+
+
+def _label_bits(net, value) -> int:
+    # conservative structural proxy; see DESIGN.md (the wire format is the
+    # measured Gilbert-Moore encoding)
+    return 2 * net.id_bits()
+
+
+class PhaseLayer(Protocol):
+    """Shared phase/ack machinery.  Subclasses define the task hooks."""
+
+    name = "phase-layer"
+    phases: tuple[str, ...] = (WORK, SWAP)
+
+    # ------------------------------------------------------------------
+    # task hooks
+    # ------------------------------------------------------------------
+
+    def own_candidate(self, view: NodeView):
+        """This node's improvement candidate (a tuple ordered so that
+        smaller = better), or NONE."""
+        raise NotImplementedError
+
+    def extra_fields(self) -> list:
+        return []
+
+    def extra_rules(self, view: NodeView, intended: dict) -> None:
+        """Additional per-step updates (label fixpoints, switch roles)."""
+
+    def next_phase(self, view: NodeView, phase: str, cand):
+        """Root-only: (next phase, payload updates) when the subtree acked."""
+        raise NotImplementedError
+
+    def phase_done(self, view: NodeView, phase: str) -> bool:
+        """Whether this node's own part of the phase is complete."""
+        return True
+
+    def labels_settled(self, view: NodeView) -> bool:
+        """Whether this node's task labels are locally consistent (WORK)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+
+    def register_spec(self, net: Network) -> RegisterSpec:
+        return RegisterSpec([
+            enum_field("ph", self.phases, WORK),
+            flag_field("ack"),
+            _payload_field("cand"),
+            _payload_field("bc"),
+        ] + self.extra_fields())
+
+    # tree-layer helpers ------------------------------------------------
+
+    @staticmethod
+    def tree_sound(view: NodeView) -> bool:
+        return (view["d"] is not NONE and view["s"] is not NONE
+                and not view["mark"] and view["swt"] is NONE)
+
+    @staticmethod
+    def children_of(view: NodeView) -> list[int]:
+        me = view.id
+        return [u for u in view.neighbors if view.nbr(u)["par"] == me]
+
+    @staticmethod
+    def is_root(view: NodeView) -> bool:
+        return view["par"] is NONE
+
+    def step(self, view: NodeView) -> dict | None:
+        cur = view.state
+        intended = dict()
+        children = self.children_of(view)
+
+        # ---- phase / broadcast copy-down --------------------------------
+        if self.is_root(view):
+            ph, bc = cur["ph"], cur["bc"]
+        else:
+            pst = view.nbr(view["par"]) if view["par"] in view.neighbors else None
+            if pst is not None and "ph" in pst:
+                ph, bc = pst["ph"], pst["bc"]
+            else:
+                ph, bc = cur["ph"], cur["bc"]
+        intended["ph"] = ph
+        intended["bc"] = bc
+
+        # ---- candidate aggregation --------------------------------------
+        own = self.own_candidate(view) if self.tree_sound(view) else NONE
+        best = own
+        for c in children:
+            cc = view.nbr(c)["cand"]
+            if cc is not NONE and (best is NONE or cc < best):
+                best = cc
+        intended["cand"] = best
+
+        # ---- acknowledgement --------------------------------------------
+        kids_ok = all(
+            view.nbr(c)["ack"] and view.nbr(c)["ph"] == ph for c in children
+        )
+        settled = (self.tree_sound(view)
+                   and (ph != WORK or self.labels_settled(view))
+                   and self.phase_done(view, ph)
+                   and cur["cand"] == best)
+        intended["ack"] = bool(kids_ok and settled)
+
+        # ---- root transition ---------------------------------------------
+        if self.is_root(view) and intended["ack"]:
+            move = self.next_phase(view, ph, best)
+            if move is not None:
+                nxt, payload = move
+                intended["ph"] = nxt
+                intended["bc"] = payload
+                intended["ack"] = False
+
+        # ---- task-specific extras -----------------------------------------
+        self.extra_rules(view, intended)
+
+        delta = {k: v for k, v in intended.items() if cur.get(k) != v}
+        return delta or None
+
+
+class GuidedBFS(PhaseLayer):
+    """The Section III task, end to end distributed.
+
+    Candidate: a node ``u`` with a neighbor ``v`` such that
+    ``d(v) + 1 < d(u)`` proposes the swap ``e = {u, v}, f = {u, p(u)}``
+    (largest gain wins the aggregation).  The SWAP phase broadcasts
+    ``(u, v)``; ``u`` performs a single local switch through the tree
+    layer.
+    """
+
+    name = "guided-bfs"
+    phases = (WORK, SWAP)
+
+    def own_candidate(self, view: NodeView):
+        if self.is_root(view):
+            return NONE
+        du = view["d"]
+        best = NONE
+        for v in view.neighbors:
+            st = view.nbr(v)
+            dv = st["d"]
+            if dv is NONE or st["rid"] != view["rid"]:
+                continue
+            if isinstance(dv, int) and dv + 1 < du:
+                cand = (-(du - dv - 1), view.id, v)
+                if best is NONE or cand < best:
+                    best = cand
+        return best
+
+    def next_phase(self, view: NodeView, phase: str, cand):
+        if phase == WORK:
+            # malformed candidates (corruption) are flushed by the
+            # aggregation fixpoint within a step; never act on them
+            if cand is NONE or not (isinstance(cand, tuple) and len(cand) == 3):
+                return None  # legal: stay silent
+            _, u, v = cand
+            return SWAP, (u, v)
+        return WORK, NONE  # SWAP acked -> back to work
+
+    def phase_done(self, view: NodeView, phase: str) -> bool:
+        if phase != SWAP:
+            return True
+        bc = view["bc"]
+        if bc is NONE or len(bc) != 2:
+            return True
+        u, v = bc
+        if view.id != u:
+            return True
+        return view["par"] == v  # the designated switcher has re-parented
+
+    def extra_rules(self, view: NodeView, intended: dict) -> None:
+        # the designated switcher raises the tree-layer request
+        if intended.get("ph") != SWAP:
+            return
+        bc = intended.get("bc", view["bc"])
+        if bc is NONE or len(bc) != 2:
+            return
+        u, v = bc
+        if view.id != u or view["par"] == v or view["swt"] is not NONE:
+            return
+        if v in view.neighbors and view["par"] is not NONE:
+            intended["swt"] = v
+
+    # ------------------------------------------------------------------
+
+    def is_legal(self, net: Network, config) -> bool:
+        try:
+            tree = tree_of_config(net, config)
+        except ValueError:
+            return False
+        dist = net.bfs_distances(tree.root)
+        return all(tree.depth(v) == dist[v] for v in net.nodes)
+
+
+def guided_bfs_protocol() -> ComposedProtocol:
+    """The full silent self-stabilizing PLS-guided BFS construction."""
+    return ComposedProtocol([MalleableTreeProtocol(), GuidedBFS()],
+                            name="guided-bfs")
+
+
+class NCALabelLayer(Protocol):
+    """Distributed construction of the NCA labels (Section V) on the
+    current tree: heavy-child pointers from the certified sizes, labels by
+    parent derivation — self-correcting downward fixpoints, silent on a
+    stable labeled tree.  Carries Lemma 5.1's certificate material."""
+
+    name = "nca-labels"
+
+    def register_spec(self, net: Network) -> RegisterSpec:
+        def lam_bits(net_, value):
+            if value is NONE:
+                return 1
+            return 1 + 2 * net_.id_bits()  # structural proxy (see DESIGN.md)
+
+        return RegisterSpec([
+            custom_field("hv", lambda n, v: NONE,
+                         lambda n, v: 1 + n.id_bits(),
+                         lambda n, v, rng: NONE),
+            custom_field("lam", lambda n, v: NONE, lam_bits,
+                         lambda n, v, rng: NONE),
+        ])
+
+    def step(self, view: NodeView) -> dict | None:
+        cur = view.state
+        me = view.id
+        # freeze during SWAP phases: the chain roles of Fig. 1(a) are
+        # derived from the *pre-swap* labels (Section V)
+        if cur.get("ph") == SWAP:
+            return None
+        children = [u for u in view.neighbors if view.nbr(u)["par"] == me]
+        # heavy child from the tree layer's certified sizes
+        hv = NONE
+        sizes = [(view.nbr(c)["s"], c) for c in children]
+        if children and all(s is not NONE for s, _ in sizes):
+            hv = min(sizes, key=lambda sc: (-sc[0], sc[1]))[1]
+        # label derivation from the parent
+        lam = NONE
+        if view["par"] is NONE:
+            lam = ((me, 0),)
+        else:
+            pst = view.nbr(view["par"]) if view["par"] in view.neighbors else None
+            if pst is not None and pst.get("lam") not in (None, NONE):
+                plam = pst["lam"]
+                if pst.get("hv") == me:
+                    apex, depth = plam[-1]
+                    lam = plam[:-1] + ((apex, depth + 1),)
+                else:
+                    lam = plam + ((me, 0),)
+        delta = {}
+        if cur["hv"] != hv:
+            delta["hv"] = hv
+        if lam is not NONE and cur["lam"] != lam:
+            delta["lam"] = lam
+        return delta or None
+
+    @staticmethod
+    def labels_ok(net: Network, config, tree: RootedTree) -> bool:
+        from repro.labeling.nca import NCALabeling
+        ref = NCALabeling(net, tree)
+        return all(config[v]["lam"] is not NONE
+                   and NCALabel(config[v]["lam"]) == ref.labels[v]
+                   for v in net.nodes)
+
+
+def _lam_depth(segments) -> int:
+    """Tree depth encoded by an NCA label (heavy hops + light edges)."""
+    return sum(d for _, d in segments) + len(segments) - 1
+
+
+def _nca_settled_at(view: NodeView) -> bool:
+    """Whether the NCA layer's fixpoint is locally stable (mirrors
+    :meth:`NCALabelLayer.step`)."""
+    me = view.id
+    children = [u for u in view.neighbors if view.nbr(u)["par"] == me]
+    sizes = [(view.nbr(c)["s"], c) for c in children]
+    if any(s is NONE for s, _ in sizes):
+        return False
+    hv = min(sizes, key=lambda sc: (-sc[0], sc[1]))[1] if children else NONE
+    if view["hv"] != hv:
+        return False
+    if view["par"] is NONE:
+        return view["lam"] == ((me, 0),)
+    pst = view.nbr(view["par"])
+    plam = pst.get("lam")
+    if plam in (None, NONE):
+        return False
+    if pst.get("hv") == me:
+        apex, depth = plam[-1]
+        want = plam[:-1] + ((apex, depth + 1),)
+    else:
+        want = plam + ((me, 0),)
+    return view["lam"] == want
+
+
+class ChainSwapMixin:
+    """Shared SWAP-phase behavior for tasks whose improvements are full
+    ``T + e - f`` swaps executed as the Fig. 1(a) chain.
+
+    Broadcast payload: ``(a, b, x, lam_a, lam_x)`` where ``e = {a, b}``
+    (``a`` inside the detached subtree), and ``x`` is the child side of the
+    removed edge ``f = {x, p(x)}``.  Every node derives its role from its
+    own frozen NCA label: the chain is the tree path from ``a`` up to
+    ``x``; each chain node re-parents onto its former chain child once that
+    child has completed, ``a`` re-parents onto ``b`` first.
+    """
+
+    @staticmethod
+    def _chain_role(view: NodeView, bc):
+        """(on_chain, target_id) for this node, or (False, None)."""
+        if bc is NONE or not (isinstance(bc, tuple) and len(bc) == 5):
+            return False, None
+        a, b, x, lam_a_raw, lam_x_raw = bc
+        lam_raw = view["lam"]
+        if lam_raw in (None, NONE):
+            return False, None
+        try:
+            lam = NCALabel(tuple(lam_raw))
+            lam_a = NCALabel(tuple(lam_a_raw))
+            lam_x = NCALabel(tuple(lam_x_raw))
+        except (TypeError, ValueError):
+            return False, None
+        if view.id == a:
+            return True, b
+        if not (label_is_ancestor(lam, lam_a) and label_is_ancestor(lam_x, lam)):
+            return False, None
+        # my former chain child: the unique neighbor strictly below me on
+        # the path toward a (frozen pre-swap labels)
+        my_depth = _lam_depth(lam.segments)
+        for z in view.neighbors:
+            zlam_raw = view.nbr(z).get("lam")
+            if zlam_raw in (None, NONE):
+                continue
+            try:
+                zlam = NCALabel(tuple(zlam_raw))
+            except (TypeError, ValueError):
+                continue
+            if (label_is_ancestor(lam, zlam)
+                    and label_is_ancestor(zlam, lam_a)
+                    and _lam_depth(zlam.segments) == my_depth + 1):
+                return True, z
+        return False, None
+
+    def chain_phase_done(self, view: NodeView, bc) -> bool:
+        on_chain, target = self._chain_role(view, bc)
+        if not on_chain:
+            return True
+        return view["par"] == target
+
+    def chain_extra_rules(self, view: NodeView, intended: dict) -> None:
+        if intended.get("ph") != SWAP:
+            return
+        bc = intended.get("bc", view["bc"])
+        on_chain, target = self._chain_role(view, bc)
+        if not on_chain or target is None:
+            return
+        if view["par"] == target or view["swt"] is not NONE:
+            return
+        if target not in view.neighbors:
+            return
+        if view.id == bc[0]:
+            # the subtree endpoint fires first, unconditionally
+            intended["swt"] = target
+        else:
+            # an inner chain node fires once its former child has left it
+            tst = view.nbr(target)
+            if tst["par"] != view.id and tst["swt"] is NONE:
+                intended["swt"] = target
+
+
+class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
+    """Base for the MST and MDST tasks.
+
+    The *execution* is fully distributed (tree layer, NCA labels, chain
+    switches, phase waves).  The *detector's decision* — which ``(e, f)``
+    to swap next — is computed at the root from the global configuration.
+    The paper's companion report [14] implements this decision with
+    convergecast/broadcast waves over the same certificates (Boruvka
+    traces for MST, FR marks/witnesses for MDST); we reproduce those
+    certificates and their verifiers sequentially
+    (:mod:`repro.labeling.mst_pls`, :mod:`repro.labeling.fr_pls`) and keep
+    the wave-level detector out of scope — see DESIGN.md, substitution 6.
+    Space claims are measured on the certificates; round measurements
+    cover construction, labeling and switching.
+    """
+
+    phases = (WORK, SWAP)
+
+    def own_candidate(self, view: NodeView):
+        return NONE
+
+    def labels_settled(self, view: NodeView) -> bool:
+        return _nca_settled_at(view)
+
+    def phase_done(self, view: NodeView, phase: str) -> bool:
+        if phase != SWAP:
+            return True
+        return self.chain_phase_done(view, view["bc"])
+
+    def extra_rules(self, view: NodeView, intended: dict) -> None:
+        self.chain_extra_rules(view, intended)
+
+    # -- the oracle boundary -------------------------------------------
+
+    def oracle_next_swap(self, net: Network, tree: RootedTree):
+        """The next (e, f) improvement, or None when the tree is legal."""
+        raise NotImplementedError
+
+    def next_phase(self, view: NodeView, phase: str, cand):
+        if phase == SWAP:
+            return WORK, NONE
+        net = view.net
+        try:
+            tree = tree_of_config(net, view._config)  # oracle: global read
+        except ValueError:
+            return None
+        pair = self.oracle_next_swap(net, tree)
+        if pair is None:
+            return None  # legal: stay silent
+        e, f = pair
+        fx, fy = f
+        x = fx if tree.parent(fx) == fy else fy
+        detached = tree.subtree_nodes(x)
+        a = e[0] if e[0] in detached else e[1]
+        b = e[1] if a == e[0] else e[0]
+        lam_a = view._config[a]["lam"]
+        lam_x = view._config[x]["lam"]
+        if lam_a in (None, NONE) or lam_x in (None, NONE):
+            return None  # labels not ready; ack discipline will retry
+        return SWAP, (a, b, x, tuple(lam_a), tuple(lam_x))
+
+
+class GuidedMST(_OracleGuidedTask):
+    """Algorithm 2 distributed (Corollary 6.1): red-rule swaps until the
+    Boruvka-trace potential reaches zero (the unique MST)."""
+
+    name = "guided-mst"
+
+    def oracle_next_swap(self, net: Network, tree: RootedTree):
+        from repro.core.mst import MSTPotential
+        return MSTPotential().find_improvement(net, tree)
+
+    def is_legal(self, net: Network, config) -> bool:
+        from repro.baselines.sequential_mst import kruskal_mst
+        try:
+            tree = tree_of_config(net, config)
+        except ValueError:
+            return False
+        return tree.edges() == kruskal_mst(net)
+
+
+class GuidedMDST(_OracleGuidedTask):
+    """Algorithm 4 distributed (Corollary 8.1): well-nested improvement
+    sequences executed one chain swap at a time until the tree is an
+    FR-tree (degree <= OPT + 1)."""
+
+    name = "guided-mdst"
+
+    def __init__(self) -> None:
+        self._plan: list = []
+        self._plan_tree_edges: frozenset | None = None
+
+    def oracle_next_swap(self, net: Network, tree: RootedTree):
+        from repro.core.fr import (fr_marking, improvement_session,
+                                   _direct_improvement)
+        edges = frozenset(tree.edges())
+        if self._plan and self._plan_tree_edges == edges:
+            e, f = self._plan[0]
+            return e, f
+        self._plan = []
+        marking = fr_marking(net, tree)
+        if marking.is_fr:
+            return None
+        plan = None
+        for w in marking.improvable:
+            plan = improvement_session(net, tree, marking, w)
+            if plan is not None:
+                break
+        if plan is None:
+            plan = _direct_improvement(net, tree, marking.degree)
+        if plan is None:
+            return None
+        seq, _ = plan
+        self._plan = list(seq)
+        self._plan_tree_edges = edges
+        return self._plan[0]
+
+    def next_phase(self, view: NodeView, phase: str, cand):
+        move = super().next_phase(view, phase, cand)
+        if phase == SWAP and self._plan:
+            # the swap just acked corresponds to the plan head; the next
+            # WORK phase revalidates against the mutated tree
+            e, _ = self._plan[0]
+            try:
+                tree = tree_of_config(view.net, view._config)
+                if tuple(sorted(e)) in tree.edges():
+                    self._plan.pop(0)
+                    self._plan_tree_edges = frozenset(tree.edges())
+            except ValueError:
+                self._plan = []
+        return move
+
+    def is_legal(self, net: Network, config) -> bool:
+        from repro.core.fr import is_fr_tree
+        try:
+            tree = tree_of_config(net, config)
+        except ValueError:
+            return False
+        return is_fr_tree(net, tree)
+
+
+def guided_mst_protocol() -> ComposedProtocol:
+    """The full silent self-stabilizing MST construction (Corollary 6.1)."""
+    return ComposedProtocol(
+        [MalleableTreeProtocol(), NCALabelLayer(), GuidedMST()],
+        name="guided-mst")
+
+
+def guided_mdst_protocol() -> ComposedProtocol:
+    """The full silent self-stabilizing near-MDST construction
+    (Corollary 8.1)."""
+    return ComposedProtocol(
+        [MalleableTreeProtocol(), NCALabelLayer(), GuidedMDST()],
+        name="guided-mdst")

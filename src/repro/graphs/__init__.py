@@ -1,0 +1,40 @@
+"""Network graphs for the state-model simulator.
+
+:class:`~repro.graphs.network.Network` is the immutable communication graph
+(node identities, adjacency, distinct edge weights) on which every protocol
+in this package runs.  :mod:`repro.graphs.generators` provides seeded
+topology families used throughout the tests and benchmarks.
+"""
+
+from repro.graphs.network import Network, UWEdge
+from repro.graphs.generators import (
+    ring,
+    path_graph,
+    complete_graph,
+    grid_graph,
+    random_connected_graph,
+    random_tree_graph,
+    lollipop_graph,
+    caterpillar_graph,
+    star_graph,
+    hypercube_graph,
+    theta_graph,
+    wheel_graph,
+)
+
+__all__ = [
+    "Network",
+    "UWEdge",
+    "ring",
+    "path_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_connected_graph",
+    "random_tree_graph",
+    "lollipop_graph",
+    "caterpillar_graph",
+    "star_graph",
+    "hypercube_graph",
+    "theta_graph",
+    "wheel_graph",
+]

@@ -1,0 +1,228 @@
+"""Seeded topology generators.
+
+Every generator returns a :class:`~repro.graphs.network.Network`.  Identities
+are *scrambled* (a random injection into {1, ..., n^2}) so that protocols can
+never rely on identities being 1..n or on the root having a particular
+position; the paper only guarantees distinct ids in {1, ..., n^c}.
+
+All generators accept ``seed`` for reproducibility and ``weighted`` to attach
+pairwise-distinct random weights (needed by MST instances).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.network import Network, UWEdge
+
+__all__ = [
+    "ring",
+    "path_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_connected_graph",
+    "random_tree_graph",
+    "lollipop_graph",
+    "caterpillar_graph",
+    "star_graph",
+    "hypercube_graph",
+    "theta_graph",
+    "wheel_graph",
+]
+
+
+def _scrambled_ids(n: int, rng: random.Random, scramble: bool) -> list[int]:
+    """Distinct identities for n nodes, optionally scrambled in {1..n^2}."""
+    if not scramble:
+        return list(range(1, n + 1))
+    space = max(n * n, n + 1)
+    return rng.sample(range(1, space + 1), n)
+
+
+def _build(
+    n: int,
+    index_edges: Sequence[tuple[int, int]],
+    seed: int | None,
+    weighted: bool,
+    scramble_ids: bool,
+    n_bound: int | None = None,
+) -> Network:
+    rng = random.Random(seed)
+    ids = _scrambled_ids(n, rng, scramble_ids)
+    edges = [UWEdge(ids[a], ids[b]) for a, b in index_edges]
+    if weighted:
+        return Network.with_distinct_weights(ids, edges, rng=rng, n_bound=n_bound)
+    return Network(ids, edges, n_bound=n_bound)
+
+
+def ring(n: int, seed: int | None = 0, weighted: bool = False,
+         scramble_ids: bool = True) -> Network:
+    """Cycle C_n."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def path_graph(n: int, seed: int | None = 0, weighted: bool = False,
+               scramble_ids: bool = True) -> Network:
+    """Path P_n."""
+    if n < 1:
+        raise ValueError("path needs n >= 1")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def complete_graph(n: int, seed: int | None = 0, weighted: bool = False,
+                   scramble_ids: bool = True) -> Network:
+    """Clique K_n."""
+    if n < 1:
+        raise ValueError("complete graph needs n >= 1")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def star_graph(n: int, seed: int | None = 0, weighted: bool = False,
+               scramble_ids: bool = True) -> Network:
+    """Star K_{1,n-1}: node 0 is the hub."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    edges = [(0, i) for i in range(1, n)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def wheel_graph(n: int, seed: int | None = 0, weighted: bool = False,
+                scramble_ids: bool = True) -> Network:
+    """Wheel: hub 0 plus cycle on the other n-1 nodes."""
+    if n < 4:
+        raise ValueError("wheel needs n >= 4")
+    rim = list(range(1, n))
+    edges = [(0, i) for i in rim]
+    edges += [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def grid_graph(rows: int, cols: int, seed: int | None = 0, weighted: bool = False,
+               scramble_ids: bool = True) -> Network:
+    """rows x cols grid."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+    n = rows * cols
+
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((idx(r, c), idx(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((idx(r, c), idx(r + 1, c)))
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def random_tree_graph(n: int, seed: int | None = 0, weighted: bool = False,
+                      scramble_ids: bool = True) -> Network:
+    """Uniform random labeled tree (random Prüfer-like attachment)."""
+    if n < 1:
+        raise ValueError("tree needs n >= 1")
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def random_connected_graph(n: int, extra_edges: int | None = None,
+                           seed: int | None = 0, weighted: bool = False,
+                           scramble_ids: bool = True) -> Network:
+    """Random connected graph: random spanning tree plus extra random edges.
+
+    ``extra_edges`` defaults to ``n`` (average degree ~4), capped at the
+    number of available non-tree pairs.
+    """
+    if n < 1:
+        raise ValueError("graph needs n >= 1")
+    rng = random.Random(seed)
+    edges = {UWEdge(i, rng.randrange(i)) for i in range(1, n)}
+    want = n if extra_edges is None else extra_edges
+    max_extra = n * (n - 1) // 2 - len(edges)
+    want = min(want, max_extra)
+    while want > 0:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = UWEdge(u, v)
+        if e in edges:
+            continue
+        edges.add(e)
+        want -= 1
+    return _build(n, sorted(edges), seed, weighted, scramble_ids)
+
+
+def lollipop_graph(clique_size: int, tail_len: int, seed: int | None = 0,
+                   weighted: bool = False, scramble_ids: bool = True) -> Network:
+    """Clique with a path tail: stresses eccentric roots and long relabel waves."""
+    if clique_size < 3 or tail_len < 1:
+        raise ValueError("lollipop needs clique_size >= 3 and tail_len >= 1")
+    n = clique_size + tail_len
+    edges = [(i, j) for i in range(clique_size) for j in range(i + 1, clique_size)]
+    edges.append((clique_size - 1, clique_size))
+    edges += [(clique_size + i, clique_size + i + 1) for i in range(tail_len - 1)]
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int, seed: int | None = 0,
+                      weighted: bool = False, scramble_ids: bool = True) -> Network:
+    """Spine path with pendant legs: worst-case-ish for heavy-path labelings."""
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("caterpillar needs spine >= 1 and legs_per_node >= 0")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, nxt))
+            nxt += 1
+    return _build(nxt, edges, seed, weighted, scramble_ids)
+
+
+def hypercube_graph(dim: int, seed: int | None = 0, weighted: bool = False,
+                    scramble_ids: bool = True) -> Network:
+    """d-dimensional hypercube (n = 2^d)."""
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    edges = []
+    for u in range(n):
+        for b in range(dim):
+            v = u ^ (1 << b)
+            if u < v:
+                edges.append((u, v))
+    return _build(n, edges, seed, weighted, scramble_ids)
+
+
+def theta_graph(arm_lengths: Sequence[int], seed: int | None = 0,
+                weighted: bool = False, scramble_ids: bool = True) -> Network:
+    """Two hub nodes joined by parallel internally-disjoint paths.
+
+    A classic source of many distinct fundamental cycles sharing edges;
+    useful for exercising the cycle-membership predicate.
+    """
+    if len(arm_lengths) < 2 or any(a < 1 for a in arm_lengths):
+        raise ValueError("theta graph needs >= 2 arms of length >= 1")
+    # node 0 and 1 are the hubs; each arm of length L has L-1 internal nodes.
+    edges: list[tuple[int, int]] = []
+    nxt = 2
+    for length in arm_lengths:
+        prev = 0
+        for _ in range(length - 1):
+            edges.append((prev, nxt))
+            prev = nxt
+            nxt += 1
+        edges.append((prev, 1))
+    # arms of length 1 would create parallel (0,1) edges; the set in Network
+    # collapses them, so require at most one such arm.
+    if sum(1 for a in arm_lengths if a == 1) > 1:
+        raise ValueError("at most one arm of length 1 (no parallel edges)")
+    return _build(nxt, edges, seed, weighted, scramble_ids)

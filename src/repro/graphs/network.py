@@ -1,0 +1,326 @@
+"""The communication network of the state model (Section II-A of the paper).
+
+A :class:`Network` is a simple connected graph ``G = (V, E)`` whose nodes are
+processes.  Following the paper:
+
+* every node has a distinct, incorruptible identity ``ID(v)`` drawn from
+  ``{1, ..., n^c}`` for a constant ``c >= 1``;
+* in weighted instances, every node knows the (incorruptible, pairwise
+  distinct) weights of its incident edges, each storable on O(log n) bits;
+* nodes communicate only with their neighbors, by reading their registers.
+
+The class is deliberately immutable: protocols never mutate the graph, they
+only read it.  Trees under construction live in node *registers*, not here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro._bits import bits_for_id, bits_for_weight
+
+__all__ = ["Network", "UWEdge"]
+
+
+def UWEdge(u: int, v: int) -> tuple[int, int]:
+    """Canonical (sorted) form of an undirected edge ``{u, v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Network:
+    """An immutable simple connected graph with identities and edge weights.
+
+    Parameters
+    ----------
+    node_ids:
+        Distinct positive node identities.
+    edges:
+        Iterable of undirected edges ``(u, v)`` between identities.
+    weights:
+        Optional mapping from canonical edges to pairwise-distinct positive
+        weights.  When omitted the network is unweighted; protocols that
+        need weights raise if asked for one.
+    id_space:
+        Upper bound of the identity space ``{1, ..., id_space}``; defaults to
+        ``n**2`` (the paper's ``n^c`` with ``c = 2``), raised to
+        ``max(node_ids)`` if identities exceed it.
+    n_bound:
+        Public upper bound N >= n on the network size, known to every node
+        (used to bound distance/size counters; the classical assumption for
+        flushing fake roots).  Defaults to ``n``.
+    """
+
+    def __init__(
+        self,
+        node_ids: Iterable[int],
+        edges: Iterable[tuple[int, int]],
+        weights: Mapping[tuple[int, int], int] | None = None,
+        id_space: int | None = None,
+        n_bound: int | None = None,
+    ) -> None:
+        self._nodes: tuple[int, ...] = tuple(sorted(node_ids))
+        if len(set(self._nodes)) != len(self._nodes):
+            raise ValueError("node identities must be distinct")
+        if any(i <= 0 for i in self._nodes):
+            raise ValueError("node identities must be positive")
+        node_set = set(self._nodes)
+
+        canon: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at node {u}")
+            if u not in node_set or v not in node_set:
+                raise ValueError(f"edge ({u}, {v}) uses an unknown node id")
+            canon.add(UWEdge(u, v))
+        self._edges: tuple[tuple[int, int], ...] = tuple(sorted(canon))
+
+        self._adj: dict[int, tuple[int, ...]] = {u: () for u in self._nodes}
+        adj_build: dict[int, list[int]] = {u: [] for u in self._nodes}
+        for u, v in self._edges:
+            adj_build[u].append(v)
+            adj_build[v].append(u)
+        for u in self._nodes:
+            self._adj[u] = tuple(sorted(adj_build[u]))
+
+        self._weights: dict[tuple[int, int], int] | None = None
+        if weights is not None:
+            w = {UWEdge(u, v): int(wt) for (u, v), wt in weights.items()}
+            missing = set(self._edges) - set(w)
+            if missing:
+                raise ValueError(f"missing weights for edges: {sorted(missing)}")
+            if len(set(w.values())) != len(w):
+                raise ValueError("edge weights must be pairwise distinct")
+            if any(wt <= 0 for wt in w.values()):
+                raise ValueError("edge weights must be positive")
+            self._weights = {e: w[e] for e in self._edges}
+
+        n = len(self._nodes)
+        default_space = max(n * n, max(self._nodes, default=1))
+        self._id_space = max(id_space or default_space, max(self._nodes, default=1))
+        self._n_bound = n_bound if n_bound is not None else n
+        if self._n_bound < n:
+            raise ValueError(f"n_bound {self._n_bound} smaller than n = {n}")
+
+        self._check_connected()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """All node identities, sorted ascending."""
+        return self._nodes
+
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All canonical undirected edges, sorted."""
+        return self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def id_space(self) -> int:
+        """Size of the identity space {1, ..., id_space}."""
+        return self._id_space
+
+    @property
+    def n_bound(self) -> int:
+        """Public upper bound N >= n known to all nodes."""
+        return self._n_bound
+
+    @property
+    def weighted(self) -> bool:
+        return self._weights is not None
+
+    @property
+    def min_id(self) -> int:
+        """The smallest identity (the eventual elected root)."""
+        return self._nodes[0]
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Sorted neighbor identities of ``u``."""
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        return max(len(self._adj[u]) for u in self._nodes)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return UWEdge(u, v) in self._edge_set()
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of edge {u, v}; raises on unweighted networks."""
+        if self._weights is None:
+            raise ValueError("network is unweighted")
+        e = UWEdge(u, v)
+        if e not in self._weights:
+            raise KeyError(f"no edge {e}")
+        return self._weights[e]
+
+    def weight_of(self, edge: tuple[int, int]) -> int:
+        return self.weight(edge[0], edge[1])
+
+    @property
+    def weights(self) -> dict[tuple[int, int], int]:
+        if self._weights is None:
+            raise ValueError("network is unweighted")
+        return dict(self._weights)
+
+    def weight_space(self) -> int:
+        """Upper bound of the weight domain (for bit accounting)."""
+        if self._weights is None:
+            return 1
+        return max(self._weights.values())
+
+    # ------------------------------------------------------------------
+    # bit accounting for incorruptible constants
+    # ------------------------------------------------------------------
+
+    def id_bits(self) -> int:
+        """Bits for one identity (register fields storing ids cost this)."""
+        return bits_for_id(self._id_space)
+
+    def weight_bits(self) -> int:
+        """Bits for one edge weight."""
+        return bits_for_weight(self.weight_space())
+
+    # ------------------------------------------------------------------
+    # graph algorithms used by oracles and verifiers (not by protocols)
+    # ------------------------------------------------------------------
+
+    def bfs_distances(self, source: int) -> dict[int, int]:
+        """Hop distances from ``source`` to every node."""
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def eccentricity(self, source: int) -> int:
+        return max(self.bfs_distances(source).values())
+
+    def diameter(self) -> int:
+        return max(self.eccentricity(u) for u in self._nodes)
+
+    def is_connected_subset(self, subset: Iterable[int]) -> bool:
+        """Whether the induced subgraph on ``subset`` is connected."""
+        sub = set(subset)
+        if not sub:
+            return True
+        start = next(iter(sub))
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v in sub and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen == sub
+
+    def edges_incident(self, u: int) -> Iterator[tuple[int, int]]:
+        for v in self._adj[u]:
+            yield UWEdge(u, v)
+
+    def total_weight(self, edges: Iterable[tuple[int, int]]) -> int:
+        return sum(self.weight_of(e) for e in edges)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _edge_set(self) -> set[tuple[int, int]]:
+        cached = getattr(self, "_edge_set_cache", None)
+        if cached is None:
+            cached = set(self._edges)
+            self._edge_set_cache = cached
+        return cached
+
+    def _check_connected(self) -> None:
+        if not self._nodes:
+            raise ValueError("network must have at least one node")
+        seen = {self._nodes[0]}
+        stack = [self._nodes[0]]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        if len(seen) != len(self._nodes):
+            raise ValueError("network must be connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "weighted" if self.weighted else "unweighted"
+        return f"Network(n={self.n}, m={self.m}, {kind})"
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def with_distinct_weights(
+        node_ids: Iterable[int],
+        edges: Iterable[tuple[int, int]],
+        rng=None,
+        **kwargs,
+    ) -> "Network":
+        """Build a weighted network with random distinct weights.
+
+        Weights are a random permutation of ``{1, ..., m}`` scaled by a
+        small factor so ties never occur, matching the paper's w.l.o.g.
+        distinct-weights assumption.
+        """
+        edge_list = sorted({UWEdge(u, v) for u, v in edges})
+        m = len(edge_list)
+        perm = list(range(1, m + 1))
+        if rng is not None:
+            rng.shuffle(perm)
+        weights = {e: w for e, w in zip(edge_list, perm)}
+        return Network(node_ids, edge_list, weights=weights, **kwargs)
+
+    def reweighted(self, weights: Mapping[tuple[int, int], int]) -> "Network":
+        """Same topology with new distinct weights."""
+        return Network(
+            self._nodes,
+            self._edges,
+            weights=weights,
+            id_space=self._id_space,
+            n_bound=self._n_bound,
+        )
+
+    @staticmethod
+    def from_adjacency(adj: Mapping[int, Iterable[int]], **kwargs) -> "Network":
+        edges = set()
+        for u, nbrs in adj.items():
+            for v in nbrs:
+                edges.add(UWEdge(u, v))
+        return Network(adj.keys(), edges, **kwargs)
+
+    def spanning_edge_count(self) -> int:
+        return self.n - 1
+
+    def non_edges(self) -> Iterator[tuple[int, int]]:
+        """All node pairs that are *not* edges (useful for tests)."""
+        es = self._edge_set()
+        for u, v in itertools.combinations(self._nodes, 2):
+            if (u, v) not in es:
+                yield (u, v)

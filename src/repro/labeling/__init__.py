@@ -1,0 +1,19 @@
+"""Proof-labeling schemes and informative labeling schemes.
+
+* :mod:`pls` — the prover/verifier framework of Section II-C;
+* :mod:`tree_pls` — the classic distance-based and size-based schemes for
+  spanning trees;
+* :mod:`malleable` — the paper's redundant (d, s) scheme with pruning,
+  Definition 4.1 and Lemma 4.1;
+* :mod:`gilbert_moore` — alphabetic (order-preserving) prefix codes, ref [37];
+* :mod:`nca` — the Alstrup et al. nearest-common-ancestor labeling, ref [6];
+* :mod:`nca_pls` — the proof-labeling scheme *for* the NCA labeling
+  (Lemma 5.1);
+* :mod:`mst_pls` — the Boruvka-trace MST scheme of Section VI (refs [50],
+  [52]);
+* :mod:`fr_pls` — the FR-tree scheme of Lemma 8.1.
+"""
+
+from repro.labeling.pls import ProofLabelingScheme, VerificationResult
+
+__all__ = ["ProofLabelingScheme", "VerificationResult"]

@@ -1,0 +1,163 @@
+"""The proof-labeling scheme for FR-trees (Lemma 8.1).
+
+Certifying "deg(T) <= OPT + 1" directly is out of reach (Proposition 8.1:
+no poly-time PLS for near-MDST unless NP = co-NP), so the paper certifies
+membership in the *FR-tree subclass* instead, which by [33, Thm 2.2]
+implies the degree bound.  The certificate is O(log n) bits per node:
+
+* the spanning-tree certificate (root id, parent, distance);
+* the claimed tree degree ``k``, equal network-wide, with each node
+  checking ``deg_T <= k``, plus a hop counter toward a node of degree
+  exactly ``k`` (so ``k`` really is the maximum, not an inflated value —
+  an inflated ``k`` would certify a weaker statement);
+* the good/bad mark, constrained by Definition 8.1 (1) and (2);
+* for good nodes, a fragment identity with an owner-certificate hop
+  counter (ghost fragment ids are flushed exactly like ghost roots), used
+  to check Definition 8.1 (3): no graph edge between good nodes of
+  different fragments.
+
+The verifier is sound and complete for "T is a spanning tree AND the
+marking stored in the labels witnesses Definition 8.1" — which is the
+property the silent MDST algorithm stabilizes on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro._bits import bits_for_counter, bits_for_flag, bits_for_id, bits_for_option
+from repro.core.fr import FRMarking, fr_marking
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+from repro.labeling.pls import ProofLabelingScheme
+
+__all__ = ["FRCertificate", "FRTreePLS"]
+
+
+@dataclass(frozen=True)
+class FRCertificate:
+    """Everything the Lemma 8.1 verifier reads at one node."""
+
+    rid: int
+    par: int | None
+    d: int                      # distance to the root
+    k: int                      # claimed tree degree
+    dk_dist: int                # hops (in T) toward a node of degree k
+    good: bool
+    frag: int | None            # fragment identity (good nodes only)
+    fdist: int | None           # hops (inside the fragment) to the id owner
+
+
+class FRTreePLS(ProofLabelingScheme):
+    """The O(log n)-bit proof-labeling scheme for FR-trees."""
+
+    name = "fr-tree-pls"
+
+    def prove(self, net: Network, tree: RootedTree,
+              marking: FRMarking | None = None) -> dict[int, FRCertificate]:
+        if marking is None:
+            marking = fr_marking(net, tree)
+        if not marking.is_fr:
+            raise ValueError("prove() requires an FR-tree (run Algorithm 4 first)")
+        k = marking.degree
+        dk = self._distances_to_degree_k(net, tree, k)
+        labels: dict[int, FRCertificate] = {}
+        for v in net.nodes:
+            good = v in marking.good
+            labels[v] = FRCertificate(
+                rid=tree.root, par=tree.parent(v), d=tree.depth(v),
+                k=k, dk_dist=dk[v], good=good,
+                frag=marking.fragments.get(v),
+                fdist=marking.fragment_dist.get(v),
+            )
+        return labels
+
+    @staticmethod
+    def _distances_to_degree_k(net: Network, tree: RootedTree,
+                               k: int) -> dict[int, int]:
+        sources = [v for v in net.nodes if tree.degree(v) == k]
+        dist = {v: 0 for v in sources}
+        frontier = sources
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for y in tree.tree_neighbors(u):
+                    if y not in dist:
+                        dist[y] = dist[u] + 1
+                        nxt.append(y)
+            frontier = nxt
+        return dist
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, FRCertificate]) -> bool:
+        lab = labels[node]
+        # ---- spanning-tree certificate ----
+        if not 0 <= lab.d < net.n_bound:
+            return False
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid or labels[u].k != lab.k:
+                return False
+        if lab.par is None:
+            if lab.rid != node or lab.d != 0:
+                return False
+        else:
+            if lab.par not in net.neighbors(node) or lab.rid == node:
+                return False
+            if lab.d != labels[lab.par].d + 1:
+                return False
+        tree_nbrs = [u for u in net.neighbors(node)
+                     if labels[u].par == node or lab.par == u]
+        deg = len(tree_nbrs)
+        # ---- the claimed degree k ----
+        if deg > lab.k:
+            return False
+        if not 0 <= lab.dk_dist <= net.n_bound:
+            return False
+        if (deg == lab.k) != (lab.dk_dist == 0):
+            return False
+        if lab.dk_dist > 0:
+            if not any(labels[u].dk_dist == lab.dk_dist - 1 for u in tree_nbrs):
+                return False
+        # ---- Definition 8.1 (1) and (2) ----
+        if deg == lab.k and lab.good:
+            return False
+        if deg <= lab.k - 2 and not lab.good:
+            return False
+        # ---- fragments ----
+        if not lab.good:
+            return lab.frag is None and lab.fdist is None
+        if lab.frag is None or lab.fdist is None:
+            return False
+        if not 0 <= lab.fdist <= net.n_bound:
+            return False
+        good_tree_nbrs = [u for u in tree_nbrs if labels[u].good]
+        # adjacent good tree nodes share a fragment
+        for u in good_tree_nbrs:
+            if labels[u].frag != lab.frag:
+                return False
+        # owner certificate for the fragment identity
+        if (lab.frag == node) != (lab.fdist == 0):
+            return False
+        if lab.fdist > 0:
+            if not any(labels[u].frag == lab.frag
+                       and labels[u].fdist == lab.fdist - 1
+                       for u in good_tree_nbrs):
+                return False
+        # ---- Definition 8.1 (3) ----
+        for u in net.neighbors(node):
+            if labels[u].good and labels[u].frag != lab.frag:
+                return False
+        return True
+
+    def label_bits(self, net: Network, label: FRCertificate) -> int:
+        id_bits = bits_for_id(net.id_space)
+        cnt_bits = bits_for_counter(net.n_bound)
+        return (id_bits                         # rid
+                + bits_for_option(id_bits)      # par
+                + cnt_bits                      # d
+                + cnt_bits                      # k (a degree < n)
+                + cnt_bits                      # dk_dist
+                + bits_for_flag()               # good
+                + bits_for_option(id_bits)      # frag
+                + bits_for_option(cnt_bits))    # fdist

@@ -1,0 +1,78 @@
+"""Gilbert–Moore alphabetic codes (ref [37] of the paper).
+
+An *alphabetic* (order-preserving) prefix-free binary code for a weighted
+alphabet ``w_1, ..., w_k`` (in fixed order): codeword ``i`` has length
+
+    L_i = ceil(log2(W / w_i)) + 1        where W = sum of the weights,
+
+and the codewords are strictly increasing in the lexicographic order.  The
+Alstrup et al. NCA labeling (ref [6]) uses these codes to encode heavy-path
+descents and light-edge choices with lengths proportional to the log-ratio
+of subtree sizes, which makes the whole label telescope to O(log n) bits.
+
+The construction is the classical one: codeword ``i`` is the binary
+expansion of the midpoint ``Q_i = prefix_i + w_i / 2`` of the ``i``-th
+weight interval, truncated to ``L_i`` bits.  All arithmetic is exact
+(integers), so prefix-freeness is exact as well.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["gilbert_moore_code", "code_lengths"]
+
+
+def _bits_of_fraction(num: int, den: int, nbits: int) -> str:
+    """The first ``nbits`` binary digits of num/den (0 <= num < den)."""
+    out = []
+    for _ in range(nbits):
+        num *= 2
+        if num >= den:
+            out.append("1")
+            num -= den
+        else:
+            out.append("0")
+    return "".join(out)
+
+
+def _ceil_log2_ratio(total: int, w: int) -> int:
+    """ceil(log2(total / w)) computed exactly on integers."""
+    # smallest L with 2^L * w >= total
+    level = 0
+    acc = w
+    while acc < total:
+        acc *= 2
+        level += 1
+    return level
+
+
+def gilbert_moore_code(weights: Sequence[int]) -> list[str]:
+    """The Gilbert–Moore codewords for positive ``weights`` (fixed order).
+
+    Returns one bit-string per symbol.  Guarantees (tested property-based):
+
+    * prefix-free: no codeword is a prefix of another;
+    * alphabetic: codewords increase lexicographically with the index;
+    * compact: ``len(code[i]) == ceil(log2(W / w_i)) + 1``.
+    """
+    if not weights:
+        return []
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    total = sum(weights)
+    codes: list[str] = []
+    prefix = 0
+    for w in weights:
+        length = _ceil_log2_ratio(total, w) + 1
+        # midpoint of [prefix, prefix + w) over total, exactly:
+        # Q = (2 * prefix + w) / (2 * total)
+        codes.append(_bits_of_fraction(2 * prefix + w, 2 * total, length))
+        prefix += w
+    return codes
+
+
+def code_lengths(weights: Sequence[int]) -> list[int]:
+    """Lengths of the Gilbert–Moore codewords without building them."""
+    total = sum(weights)
+    return [_ceil_log2_ratio(total, w) + 1 for w in weights]

@@ -1,0 +1,338 @@
+"""The malleable redundant proof-labeling scheme (Section IV, Lemma 4.1).
+
+The paper's key enabling idea for *silent loop-free* tree mutation: label
+every node of a spanning tree with BOTH its distance ``d`` to the root and
+the size ``s`` of its subtree ("the redundant labeling"), and allow the
+prover to *prune* entries — replace ``d`` or ``s`` (never both) by the
+discard symbol — subject to two constraints:
+
+* **C1**: if ``v``'s size is pruned, its parent's size is pruned;
+* **C2**: if ``v``'s distance is pruned, its parent's label is intact or
+  has a pruned distance (i.e. the parent's size entry is never the only
+  survivor above a distance-pruned child).
+
+Lemma 4.1 exhibits a verifier that (1) accepts every legal pruning of a
+correct redundant labeling of a spanning tree, yet (2) rejects every
+labeling of a non-tree.  The verifier's case table (rows: v's label;
+columns: v's parent's label)::
+
+                 (d', s')            (d', _)       (_, s')
+    (d, s)   distance and size      distance        size
+    (d, _)          no              distance         no
+    (_, s)         size                no            size
+
+where "distance" checks ``d == d' + 1`` and "size" checks
+``s == 1 + sum of children's sizes``.
+
+Because pruned labelings remain accepted, a tree edge can be exchanged for
+a non-tree edge *without the scheme ever raising an alarm*: prune sizes
+down the two root-paths, prune distances down the moving subtree, switch
+the parent pointer, then recompute sizes upward and distances downward.
+This module implements the scheme and generates those three-phase
+label traces (used to drive and to test the distributed protocol in
+:mod:`repro.core.swap`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+
+from repro._bits import bits_for_counter, bits_for_id, bits_for_option
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network, UWEdge
+from repro.labeling.pls import ProofLabelingScheme
+
+__all__ = ["MalleableLabel", "MalleablePLS", "SwitchTrace"]
+
+
+@dataclass(frozen=True)
+class MalleableLabel:
+    """(ID, d, s) of the redundant scheme plus the parent variable.
+
+    ``d is None`` / ``s is None`` encode the discard symbol.  ``(None,
+    None)`` is forbidden (the verifier rejects it).
+    """
+
+    rid: int
+    par: int | None
+    d: int | None
+    s: int | None
+
+
+Labels = dict[int, MalleableLabel]
+
+
+@dataclass
+class SwitchTrace:
+    """A step-by-step label trace of one or more local switches.
+
+    ``configs[0]`` is the starting labeled tree, ``configs[-1]`` the fully
+    relabeled result; every intermediate configuration differs from its
+    predecessor by the atomic actions of a single wave step.
+    """
+
+    configs: list[Labels]
+    tree_after: RootedTree
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+class MalleablePLS(ProofLabelingScheme):
+    """The redundant (d, s) scheme with pruning, for the family ST."""
+
+    name = "malleable-pls"
+
+    # ------------------------------------------------------------------
+    # prover
+    # ------------------------------------------------------------------
+
+    def prove(self, net: Network, tree: RootedTree) -> Labels:
+        """The full (unpruned) redundant labeling of a spanning tree."""
+        sizes = tree.subtree_sizes()
+        return {
+            v: MalleableLabel(rid=tree.root, par=tree.parent(v),
+                              d=tree.depth(v), s=sizes[v])
+            for v in net.nodes
+        }
+
+    # ------------------------------------------------------------------
+    # verifier (the Lemma 4.1 case table)
+    # ------------------------------------------------------------------
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, MalleableLabel]) -> bool:
+        lab = labels[node]
+        # (None, None) labels are forbidden; entries live in bounded domains
+        if lab.d is None and lab.s is None:
+            return False
+        if lab.d is not None and not 0 <= lab.d < net.n_bound:
+            return False
+        if lab.s is not None and not 1 <= lab.s <= net.n_bound:
+            return False
+        # unique root identity: agreement along every graph edge
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid:
+                return False
+
+        children = [u for u in net.neighbors(node) if labels[u].par == node]
+
+        def size_ok() -> bool:
+            if lab.s is None:
+                return False
+            if any(labels[c].s is None for c in children):
+                return False
+            return lab.s == 1 + sum(labels[c].s for c in children)
+
+        if lab.par is None:
+            # the root: must own the claimed identity; its distance entry is
+            # never pruned (the switching node is never the root) and is 0.
+            if lab.rid != node or lab.d != 0:
+                return False
+            return True if lab.s is None else size_ok()
+
+        # non-root structural checks
+        if lab.par not in net.neighbors(node):
+            return False
+        if lab.rid == node:
+            return False  # the owner of the root identity must be the root
+        plab = labels[lab.par]
+
+        def distance_ok() -> bool:
+            return (lab.d is not None and plab.d is not None
+                    and lab.d == plab.d + 1)
+
+        if lab.d is not None and lab.s is not None:        # row (d, s)
+            if plab.d is not None and plab.s is not None:
+                return distance_ok() and size_ok()
+            if plab.d is not None:                          # parent (d', _)
+                return distance_ok()
+            return size_ok()                                # parent (_, s')
+        if lab.d is not None:                               # row (d, _)
+            if plab.d is not None and plab.s is None:
+                return distance_ok()
+            return False
+        # row (_, s)
+        if plab.s is None:                                  # parent (d', _)
+            return False
+        return size_ok()
+
+    def label_bits(self, net: Network, label: MalleableLabel) -> int:
+        return (bits_for_id(net.id_space)
+                + bits_for_option(bits_for_id(net.id_space))
+                + bits_for_option(bits_for_counter(net.n_bound))
+                + bits_for_option(bits_for_counter(net.n_bound)))
+
+    # ------------------------------------------------------------------
+    # legal pruning operators (what the waves of Section IV produce)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def prune_size_on_root_path(labels: Labels, tree: RootedTree,
+                                target: int) -> list[Labels]:
+        """Prune ``s`` downward along the root-to-target path (one node per
+        step, starting at the root — the downward wave of Fig. 1b).
+
+        Returns the list of successive configurations (excluding the input).
+        """
+        path = list(reversed(tree.path_to_root(target)))  # root ... target
+        out: list[Labels] = []
+        cur = dict(labels)
+        for u in path:
+            if cur[u].s is None:
+                continue  # already pruned (shared ancestors of w and w')
+            cur = dict(cur)
+            cur[u] = replace(cur[u], s=None)
+            out.append(cur)
+        return out
+
+    @staticmethod
+    def prune_distance_below(labels: Labels, tree: RootedTree,
+                             top: int) -> list[Labels]:
+        """Prune ``d`` on the strict descendants of ``top``, level by level
+        downward (the subtree wave of Fig. 1b)."""
+        out: list[Labels] = []
+        cur = dict(labels)
+        frontier = list(tree.children(top))
+        while frontier:
+            nxt: list[int] = []
+            cur = dict(cur)
+            for u in frontier:
+                cur[u] = replace(cur[u], d=None)
+                nxt.extend(tree.children(u))
+            out.append(cur)
+            frontier = nxt
+        return out
+
+    # ------------------------------------------------------------------
+    # the three-phase local switch (Section IV, Fig. 1b)
+    # ------------------------------------------------------------------
+
+    def local_switch_trace(self, net: Network, tree: RootedTree,
+                           labels: Labels, v: int, new_parent: int,
+                           ) -> SwitchTrace:
+        """Replace the tree edge {v, p(v)} by the graph edge {v, new_parent}.
+
+        Requires ``new_parent`` to be a graph neighbor of ``v`` outside
+        ``v``'s subtree.  Produces the full wave-by-wave label trace:
+
+        1. pruning phase — sizes pruned downward along the two root paths
+           (to ``w = p(v)`` and to ``w' = new_parent``), distances pruned
+           downward in ``v``'s subtree;
+        2. switching phase — once ``w`` and ``w'`` both show ``(d, _)`` and
+           all of ``v``'s children show ``(_, s)``, node ``v`` atomically
+           sets ``par = w'`` and ``d = d(w') + 1``;
+        3. relabeling phase — sizes recomputed upward from ``w`` and ``w'``,
+           distances recomputed downward from ``v``.
+        """
+        w = tree.parent(v)
+        if w is None:
+            raise ValueError("the root cannot switch its parent")
+        if new_parent not in net.neighbors(v):
+            raise ValueError(f"{new_parent} is not a graph neighbor of {v}")
+        if new_parent in tree.subtree_nodes(v):
+            raise ValueError(f"{new_parent} is inside the subtree of {v}")
+
+        trace: list[Labels] = [dict(labels)]
+
+        # -- phase 1: pruning ------------------------------------------
+        for cfg in self.prune_size_on_root_path(trace[-1], tree, w):
+            trace.append(cfg)
+        for cfg in self.prune_size_on_root_path(trace[-1], tree, new_parent):
+            trace.append(cfg)
+        for cfg in self.prune_distance_below(trace[-1], tree, v):
+            trace.append(cfg)
+
+        # -- phase 2: the switch ---------------------------------------
+        cur = dict(trace[-1])
+        d_new_parent = cur[new_parent].d
+        assert d_new_parent is not None, "root paths only prune sizes"
+        cur[v] = replace(cur[v], par=new_parent, d=d_new_parent + 1)
+        trace.append(cur)
+        new_tree = _reparent(net, tree, v, new_parent)
+
+        # -- phase 3: relabeling ---------------------------------------
+        new_sizes = new_tree.subtree_sizes()
+        # sizes recompute upward: a pruned node un-prunes when all its
+        # children (in the NEW tree) carry concrete sizes.
+        while True:
+            cur = trace[-1]
+            ready = [
+                u for u in net.nodes
+                if cur[u].s is None
+                and all(cur[c].s is not None for c in new_tree.children(u))
+            ]
+            if not ready:
+                break
+            nxt = dict(cur)
+            for u in ready:
+                nxt[u] = replace(nxt[u], s=new_sizes[u])
+            trace.append(nxt)
+        # distances recompute downward: a pruned node un-prunes when its
+        # (new) parent carries a concrete distance.
+        while True:
+            cur = trace[-1]
+            ready = [
+                u for u in net.nodes
+                if cur[u].d is None and cur[new_tree.parent(u)].d is not None
+            ]
+            if not ready:
+                break
+            nxt = dict(cur)
+            for u in ready:
+                nxt[u] = replace(nxt[u], d=cur[new_tree.parent(u)].d + 1)
+            trace.append(nxt)
+
+        assert trace[-1] == self.prove(net, new_tree), \
+            "relabeling must reproduce the full redundant labeling"
+        return SwitchTrace(configs=trace, tree_after=new_tree)
+
+    # ------------------------------------------------------------------
+    # the full T <- T + e - f swap as a chain of local switches (Fig. 1a)
+    # ------------------------------------------------------------------
+
+    def full_switch_trace(self, net: Network, tree: RootedTree,
+                          e: tuple[int, int], f: tuple[int, int],
+                          ) -> SwitchTrace:
+        """Replace tree edge ``f`` by non-tree edge ``e`` via the chain of
+        local switches of Fig. 1a: the endpoint of ``e`` inside the detached
+        subtree re-parents across ``e`` first, then each node on the path up
+        to ``f`` re-parents onto its former child, which removes ``f``."""
+        e = UWEdge(*e)
+        f = UWEdge(*f)
+        if f not in set(tree.fundamental_cycle_edges(e)):
+            raise ValueError(f"{f} is not on the fundamental cycle of {e}")
+        fx, fy = f
+        x = fx if tree.parent(fx) == fy else fy  # child side of f
+        detached = tree.subtree_nodes(x)
+        a = e[0] if e[0] in detached else e[1]
+        b = e[1] if a == e[0] else e[0]
+        # the chain a -> p(a) -> ... -> x, switched in that order
+        chain = []
+        yy = a
+        while yy != x:
+            chain.append(yy)
+            yy = tree.parent(yy)
+        chain.append(x)
+
+        configs: list[Labels] = [self.prove(net, tree)]
+        cur_tree = tree
+        new_parent = b
+        for y in chain:
+            sub = self.local_switch_trace(net, cur_tree, configs[-1],
+                                          y, new_parent)
+            configs.extend(sub.configs[1:])
+            cur_tree = sub.tree_after
+            new_parent = y  # the next chain node re-parents onto y
+        expected = (tree.edges() | {e}) - {f}
+        assert cur_tree.edges() == expected, "chain must realize T + e - f"
+        return SwitchTrace(configs=configs, tree_after=cur_tree)
+
+
+def _reparent(net: Network, tree: RootedTree, v: int,
+              new_parent: int) -> RootedTree:
+    """The tree after the single local switch (p(v) := new_parent)."""
+    parent = tree.parent_map
+    parent[v] = new_parent
+    return RootedTree(net, parent)

@@ -1,0 +1,381 @@
+"""The MST proof-labeling scheme of Section VI (after refs [50], [52]).
+
+Every node stores the trace of a virtual execution of Boruvka's algorithm
+*on the current tree T*: for each level ``i = 1..k`` (``k <= ceil(log2 n)+1``
+levels), the identity ``F_i(x)`` of the level-``i`` fragment containing
+``x`` and the selected outgoing tree edge ``f_i(x) = (a, b, w)`` of that
+fragment.  Fig. 2 of the paper illustrates the construction.
+
+Verification is entirely local.  At node ``x`` (per level ``i``):
+
+* *fragment consistency*: tree neighbors joined by an edge selected at a
+  level ``< i`` carry the same ``F_i``; tree neighbors not so joined carry
+  different ``F_i`` (fragments are connected subtrees, so the only path
+  between tree neighbors is their edge);
+* *owner certificate*: ``F_i`` values are backed by a hop counter
+  ``dist_i`` decreasing toward the node that owns the identity
+  (``F_i(x) = x`` iff ``dist_i = 0``), which flushes ghost fragment
+  identities exactly like bounded distances flush ghost roots;
+* *selected edge*: all fragment members agree on ``f_i``; its inside
+  endpoint confirms it is one of its tree edges, leaving the fragment, with
+  the advertised weight; every member checks it is *minimal among that
+  member's own outgoing tree edges* (so the trace is the true Boruvka run
+  on T);
+* *top level*: a single fragment, ``f_k`` empty.
+
+The *MST condition* on top of the trace: ``f_i(x)`` must be minimal among
+``x``'s outgoing edges **in G**, not just in T.  A node seeing a lighter
+outgoing graph edge is exactly a node with ``phi_x(T) < k`` — the signal
+Algorithm 2 turns into an improvement (Tarjan's red rule).
+
+Labels cost ``k * O(log n) = O(log^2 n)`` bits, which is optimal for silent
+MST verification (ref [50]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro._bits import bits_for_counter, bits_for_id, bits_for_option, bits_for_weight
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network, UWEdge
+from repro.labeling.pls import ProofLabelingScheme
+
+__all__ = [
+    "BoruvkaLevel",
+    "MSTCertificate",
+    "boruvka_trace",
+    "MSTPLS",
+    "find_mst_violation",
+    "min_outgoing_graph_edge",
+    "phi_values",
+]
+
+
+@dataclass(frozen=True)
+class BoruvkaLevel:
+    """One level of the trace at one node."""
+
+    fragment: int                      # F_i(x): owner identity of the fragment
+    dist: int                          # hops (inside the fragment) to the owner
+    out_edge: tuple[int, int, int] | None  # f_i(x) = (a, b, w), None at level k
+
+
+@dataclass(frozen=True)
+class MSTCertificate:
+    """The full per-node label: tree certificate + the Boruvka trace."""
+
+    rid: int
+    par: int | None
+    d: int
+    levels: tuple[BoruvkaLevel, ...]
+
+
+# ----------------------------------------------------------------------
+# prover: the Boruvka trace of a tree
+# ----------------------------------------------------------------------
+
+
+def boruvka_trace(net: Network, tree: RootedTree) -> dict[int, list[BoruvkaLevel]]:
+    """Simulate Boruvka on the tree ``T`` and record every node's trace.
+
+    Fragments at level 1 are singletons; the selected edge of a fragment is
+    its minimum-weight outgoing **tree** edge; level ``i+1`` fragments are
+    the components after merging along the selected edges.  The last level
+    ``k`` is the whole tree with no outgoing edge.
+    """
+    tree_edges = tree.edges()
+    tadj: dict[int, list[int]] = {v: [] for v in net.nodes}
+    for u, v in tree_edges:
+        tadj[u].append(v)
+        tadj[v].append(u)
+
+    trace: dict[int, list[BoruvkaLevel]] = {v: [] for v in net.nodes}
+    fragment = {v: v for v in net.nodes}
+    dist = {v: 0 for v in net.nodes}
+    merged: set[tuple[int, int]] = set()
+
+    while True:
+        frags = set(fragment.values())
+        if len(frags) == 1:
+            for v in net.nodes:
+                trace[v].append(BoruvkaLevel(fragment[v], dist[v], None))
+            break
+        # minimum-weight outgoing tree edge per fragment
+        best: dict[int, tuple[int, tuple[int, int]]] = {}
+        for e in tree_edges:
+            u, v = e
+            fu, fv = fragment[u], fragment[v]
+            if fu == fv:
+                continue
+            w = net.weight_of(e)
+            for f in (fu, fv):
+                if f not in best or w < best[f][0]:
+                    best[f] = (w, e)
+        for v in net.nodes:
+            w, (a, b) = best[fragment[v]]
+            # orient the edge so the first endpoint is inside the fragment
+            if fragment[a] != fragment[v]:
+                a, b = b, a
+            trace[v].append(BoruvkaLevel(fragment[v], dist[v], (a, b, w)))
+        for _, e in best.values():
+            merged.add(e)
+        fragment, dist = _fragment_labels(net, tadj, merged)
+    return trace
+
+
+def _fragment_labels(net: Network, tadj: dict[int, list[int]],
+                     merged: set[tuple[int, int]],
+                     ) -> tuple[dict[int, int], dict[int, int]]:
+    """Components of the merged edges: owner = min id, plus hop distances
+    to the owner inside the component."""
+    fragment: dict[int, int] = {}
+    dist: dict[int, int] = {}
+    seen: set[int] = set()
+    for v in net.nodes:
+        if v in seen:
+            continue
+        comp = [v]
+        seen.add(v)
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for y in tadj[x]:
+                if y not in seen and UWEdge(x, y) in merged:
+                    seen.add(y)
+                    comp.append(y)
+                    stack.append(y)
+        owner = min(comp)
+        # BFS from the owner inside the component
+        dd = {owner: 0}
+        frontier = [owner]
+        while frontier:
+            nxt = []
+            for x in frontier:
+                for y in tadj[x]:
+                    if y in dd or UWEdge(x, y) not in merged:
+                        continue
+                    dd[y] = dd[x] + 1
+                    nxt.append(y)
+            frontier = nxt
+        for x in comp:
+            fragment[x] = owner
+            dist[x] = dd[x]
+    return fragment, dist
+
+
+# ----------------------------------------------------------------------
+# the scheme
+# ----------------------------------------------------------------------
+
+
+class MSTPLS(ProofLabelingScheme):
+    """The O(log^2 n)-bit proof-labeling scheme for MST."""
+
+    name = "mst-pls"
+
+    def prove(self, net: Network, tree: RootedTree) -> dict[int, MSTCertificate]:
+        trace = boruvka_trace(net, tree)
+        return {
+            v: MSTCertificate(rid=tree.root, par=tree.parent(v),
+                              d=tree.depth(v), levels=tuple(trace[v]))
+            for v in net.nodes
+        }
+
+    # -- helpers shared by the two verifiers ---------------------------
+
+    @staticmethod
+    def _selected_before(lab: MSTCertificate, nlab: MSTCertificate,
+                         x: int, y: int, level_idx: int) -> bool:
+        """Whether tree edge {x, y} was selected at a level < level_idx
+        (0-based), as advertised by either endpoint's trace."""
+        e = UWEdge(x, y)
+        for j in range(level_idx):
+            for cert in (lab, nlab):
+                oe = cert.levels[j].out_edge
+                if oe is not None and UWEdge(oe[0], oe[1]) == e:
+                    return True
+        return False
+
+    def _verify_structure_at(self, net: Network, node: int,
+                             labels: Mapping[int, MSTCertificate],
+                             check_graph_minimality: bool) -> bool:
+        lab = labels[node]
+        # ---- tree certificate (distance scheme) ----
+        if not 0 <= lab.d < net.n_bound:
+            return False
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid:
+                return False
+        if lab.par is None:
+            if lab.rid != node or lab.d != 0:
+                return False
+        else:
+            if lab.par not in net.neighbors(node) or lab.rid == node:
+                return False
+            if lab.d != labels[lab.par].d + 1:
+                return False
+        # ---- trace shape ----
+        k = len(lab.levels)
+        if k < 1 or k > net.n_bound.bit_length() + 1:
+            return False
+        for u in net.neighbors(node):
+            if len(labels[u].levels) != k:
+                return False
+        tree_nbrs = [u for u in net.neighbors(node)
+                     if labels[u].par == node or lab.par == u]
+        for i in range(k):
+            lv = lab.levels[i]
+            # level 1 fragments are singletons
+            if i == 0 and (lv.fragment != node or lv.dist != 0):
+                return False
+            # owner certificate
+            if not 0 <= lv.dist <= net.n_bound:
+                return False
+            if (lv.fragment == node) != (lv.dist == 0):
+                return False
+            in_frag = []
+            for u in tree_nbrs:
+                same = labels[u].levels[i].fragment == lv.fragment
+                joined = self._selected_before(lab, labels[u], node, u, i)
+                if same != joined:
+                    return False
+                if same:
+                    in_frag.append(u)
+            if lv.dist > 0:
+                if not any(labels[u].levels[i].dist == lv.dist - 1
+                           for u in in_frag):
+                    return False
+            # selected-edge agreement within the fragment
+            for u in in_frag:
+                if labels[u].levels[i].out_edge != lv.out_edge:
+                    return False
+            if lv.out_edge is None:
+                # only the single top-level fragment has no outgoing edge:
+                # every tree neighbor must already be inside
+                if i != k - 1:
+                    return False
+                if len(in_frag) != len(tree_nbrs):
+                    return False
+            else:
+                if i == k - 1:
+                    return False
+                a, b, w = lv.out_edge
+                if a == node:
+                    # the inside endpoint confirms the edge exists
+                    if b not in tree_nbrs:
+                        return False
+                    if net.weight(node, b) != w:
+                        return False
+                    if labels[b].levels[i].fragment == lv.fragment:
+                        return False
+                # minimality among this node's own outgoing tree edges
+                for u in tree_nbrs:
+                    if labels[u].levels[i].fragment != lv.fragment:
+                        if net.weight(node, u) < w:
+                            return False
+                # the merge actually happened: selected edge endpoints
+                # share the next-level fragment
+                if a == node and labels[b].levels[i + 1].fragment != lab.levels[i + 1].fragment:
+                    return False
+            if check_graph_minimality and lv.out_edge is not None:
+                w = lv.out_edge[2]
+                for u in net.neighbors(node):
+                    if labels[u].levels[i].fragment != lv.fragment:
+                        if net.weight(node, u) < w:
+                            return False
+        return True
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, MSTCertificate]) -> bool:
+        """Full verification: the trace is genuine AND T is an MST."""
+        return self._verify_structure_at(net, node, labels,
+                                         check_graph_minimality=True)
+
+    def verify_trace_at(self, net: Network, node: int,
+                        labels: Mapping[int, MSTCertificate]) -> bool:
+        """Trace-only verification (used while T is still being improved)."""
+        return self._verify_structure_at(net, node, labels,
+                                         check_graph_minimality=False)
+
+    def label_bits(self, net: Network, label: MSTCertificate) -> int:
+        id_bits = bits_for_id(net.id_space)
+        per_level = (id_bits                                 # fragment
+                     + bits_for_counter(net.n_bound)          # dist
+                     + bits_for_option(2 * id_bits
+                                       + bits_for_weight(net.weight_space())))
+        return (id_bits                                      # rid
+                + bits_for_option(id_bits)                   # par
+                + bits_for_counter(net.n_bound)               # d
+                + len(label.levels) * per_level)
+
+
+# ----------------------------------------------------------------------
+# the potential's raw material (Section VI)
+# ----------------------------------------------------------------------
+
+
+def phi_values(net: Network, tree: RootedTree,
+               trace: dict[int, list[BoruvkaLevel]] | None = None,
+               ) -> tuple[int, dict[int, int]]:
+    """``(k, phi_x for every x)``: phi_x is the largest ``i`` such that all
+    of ``f_1(x)..f_i(x)`` are minimum-weight outgoing edges of their
+    fragments *in G* (level k is vacuous: no outgoing edges)."""
+    if trace is None:
+        trace = boruvka_trace(net, tree)
+    k = len(trace[net.min_id])
+    phis: dict[int, int] = {}
+    # precompute, per level, each fragment's minimum outgoing weight in G
+    frag_min: list[dict[int, int]] = []
+    for i in range(k):
+        best: dict[int, int] = {}
+        for e in net.edges:
+            u, v = e
+            fu, fv = trace[u][i].fragment, trace[v][i].fragment
+            if fu == fv:
+                continue
+            w = net.weight_of(e)
+            for f in (fu, fv):
+                if f not in best or w < best[f]:
+                    best[f] = w
+        frag_min.append(best)
+    for x in net.nodes:
+        phi = k
+        for i in range(k):
+            lv = trace[x][i]
+            if lv.out_edge is None:
+                continue
+            if lv.out_edge[2] != frag_min[i][lv.fragment]:
+                phi = i  # levels are 1-based in the paper: f_{i+1} is wrong
+                break
+        phis[x] = phi
+    return k, phis
+
+
+def find_mst_violation(net: Network, tree: RootedTree,
+                       trace: dict[int, list[BoruvkaLevel]] | None = None,
+                       ) -> tuple[int, int] | None:
+    """``(node u, level i)`` with ``phi_u = i < k``, or None if T is an MST."""
+    k, phis = phi_values(net, tree, trace)
+    violating = [(phis[x], x) for x in net.nodes if phis[x] < k]
+    if not violating:
+        return None
+    phi, x = min(violating)
+    return x, phi
+
+
+def min_outgoing_graph_edge(net: Network, fragment_of: Mapping[int, int],
+                            frag: int) -> tuple[int, int]:
+    """The minimum-weight edge of G leaving fragment ``frag``."""
+    best: tuple[int, tuple[int, int]] | None = None
+    for e in net.edges:
+        u, v = e
+        if (fragment_of[u] == frag) == (fragment_of[v] == frag):
+            continue
+        w = net.weight_of(e)
+        if best is None or w < best[0]:
+            best = (w, e)
+    if best is None:
+        raise ValueError(f"fragment {frag} has no outgoing edge")
+    return best[1]

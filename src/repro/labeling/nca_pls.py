@@ -1,0 +1,108 @@
+"""A proof-labeling scheme for the NCA labeling (Lemma 5.1).
+
+"It is probably the first occurrence of a proof-labeling scheme for an
+informative-labeling scheme!" — the scheme certifies that the NCA labels
+stored at the nodes are *the* labels the Alstrup et al. prover would have
+assigned for the current tree, so that a silent algorithm can rely on them.
+
+Label contents (all O(log n) bits):
+
+* the spanning-tree certificate (root identity, parent pointer, subtree
+  size — the size-based scheme of Section IV), which certifies both that
+  the parent pointers form a spanning tree and that the sizes are exact;
+* the heavy-child pointer ``hv``: certified locally against the children's
+  certified sizes (maximum size, ties to the smallest identity);
+* the structured NCA label: certified by *local derivation* — the root
+  carries ``((root, 0))``; a heavy child extends its parent's last segment
+  by one; a light child appends a fresh ``(self, 0)`` segment.  Since the
+  derivation is deterministic and anchored at the root, any incorrect label
+  breaks a check somewhere along its root path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro._bits import bits_for_counter, bits_for_id, bits_for_option
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+from repro.labeling.nca import NCALabel, NCALabeling
+from repro.labeling.pls import ProofLabelingScheme
+
+__all__ = ["NCACertificate", "NCAPLS"]
+
+
+@dataclass(frozen=True)
+class NCACertificate:
+    """Everything the Lemma 5.1 verifier reads at one node."""
+
+    rid: int                 # root identity (spanning-tree certificate)
+    par: int | None          # parent pointer
+    s: int                   # subtree size (certified, certifies tree-ness)
+    hv: int | None           # heavy child (None at leaves)
+    lam: NCALabel            # the NCA label being certified
+    lam_bits: int            # wire size of lam (Gilbert-Moore encoding)
+
+
+class NCAPLS(ProofLabelingScheme):
+    """The proof-labeling scheme for the NCA informative labeling."""
+
+    name = "nca-pls"
+
+    def prove(self, net: Network, tree: RootedTree) -> dict[int, NCACertificate]:
+        scheme = NCALabeling(net, tree)
+        return {
+            v: NCACertificate(
+                rid=tree.root,
+                par=tree.parent(v),
+                s=scheme.sizes[v],
+                hv=scheme.heavy[v],
+                lam=scheme.labels[v],
+                lam_bits=scheme.encoded_bits(v),
+            )
+            for v in net.nodes
+        }
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, NCACertificate]) -> bool:
+        lab = labels[node]
+        # ---- spanning-tree certificate (size-based scheme) ----
+        if not 1 <= lab.s <= net.n_bound:
+            return False
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid:
+                return False
+        if lab.par is None and lab.rid != node:
+            return False
+        if lab.par is not None and (lab.par not in net.neighbors(node)
+                                    or lab.rid == node):
+            return False
+        children = [u for u in net.neighbors(node) if labels[u].par == node]
+        if lab.s != 1 + sum(labels[c].s for c in children):
+            return False
+        # ---- heavy child ----
+        if not children:
+            if lab.hv is not None:
+                return False
+        else:
+            expected = min(children, key=lambda c: (-labels[c].s, c))
+            if lab.hv != expected:
+                return False
+        # ---- NCA label derivation ----
+        if lab.par is None:
+            return lab.lam == NCALabel(((node, 0),))
+        plab = labels[lab.par]
+        if plab.hv == node:
+            apex, depth = plab.lam.segments[-1]
+            expected_lam = NCALabel(plab.lam.segments[:-1] + ((apex, depth + 1),))
+        else:
+            expected_lam = NCALabel(plab.lam.segments + ((node, 0),))
+        return lab.lam == expected_lam
+
+    def label_bits(self, net: Network, label: NCACertificate) -> int:
+        return (bits_for_id(net.id_space)                       # rid
+                + bits_for_option(bits_for_id(net.id_space))    # par
+                + bits_for_counter(net.n_bound)                 # s
+                + bits_for_option(bits_for_id(net.id_space))    # hv
+                + label.lam_bits)                               # lam (GM bits)

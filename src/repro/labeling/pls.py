@@ -1,0 +1,77 @@
+"""The proof-labeling scheme framework (Section II-C of the paper).
+
+A proof-labeling scheme for a property of *configurations* is a pair
+``(p, v)``:
+
+* the **prover** ``p`` assigns a label (bit string) to every node of a
+  configuration satisfying the property;
+* the **verifier** ``v`` runs at every node, reading only that node's
+  variables + label and its neighbors' variables + labels, and outputs
+  yes/no.
+
+Soundness/completeness contract: if the property holds, the prover's labels
+make every node accept; if it does not hold, then *for every* label
+assignment at least one node rejects.
+
+In this reproduction a "configuration" is whatever structured state the
+scheme talks about — for tree schemes, the node's parent pointer plus its
+label fields.  Labels carry exact bit sizes so the compactness claims can
+be measured.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.graphs.network import Network
+
+__all__ = ["ProofLabelingScheme", "VerificationResult"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of running the verifier at every node."""
+
+    accepted: bool
+    rejecting_nodes: tuple[int, ...]
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+class ProofLabelingScheme(ABC):
+    """Base class for all schemes in :mod:`repro.labeling`.
+
+    ``LabelT`` is scheme-specific (a dataclass per scheme); ``labels`` maps
+    every node to its label.
+    """
+
+    #: short name used in reports
+    name: str = "pls"
+
+    @abstractmethod
+    def prove(self, net: Network, structure) -> dict[int, object]:
+        """The prover: labels for a structure satisfying the property."""
+
+    @abstractmethod
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, object]) -> bool:
+        """The verifier at one node (may read only the node's own label and
+        its graph neighbors' labels)."""
+
+    def verify(self, net: Network, labels: Mapping[int, object]) -> VerificationResult:
+        """Run the verifier at every node."""
+        rejecting = tuple(
+            v for v in net.nodes if not self.verify_at(net, v, labels)
+        )
+        return VerificationResult(accepted=not rejecting, rejecting_nodes=rejecting)
+
+    @abstractmethod
+    def label_bits(self, net: Network, label) -> int:
+        """Exact size of one label in bits."""
+
+    def max_label_bits(self, net: Network, labels: Mapping[int, object]) -> int:
+        """The scheme's measured space complexity on this instance."""
+        return max(self.label_bits(net, lab) for lab in labels.values())

@@ -1,0 +1,117 @@
+"""The classic distance-based and size-based PLS for spanning trees.
+
+Section II-C of the paper recalls the folklore *distance-based* scheme
+(labels ``(ID, d)``: root identity and hop distance to the root) and
+Section IV introduces its *size-based* sibling (labels ``(ID, s)``: root
+identity and subtree size).  Both use O(log n)-bit labels and both are
+complete proof-labeling schemes for the family ST of all spanning trees:
+
+* distance: a parent's distance is one less than the child's, the root has
+  distance 0 and carries its own identity — distances cannot increase
+  around a cycle, and separate components disagree with the unique root;
+* size: a node's size is one plus the sum of its children's sizes — sizes
+  must strictly increase along a cycle, which is impossible.
+
+These two schemes are the building blocks of the paper's malleable
+redundant scheme (:mod:`repro.labeling.malleable`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro._bits import bits_for_counter, bits_for_id, bits_for_option
+from repro.core.trees import RootedTree
+from repro.graphs.network import Network
+from repro.labeling.pls import ProofLabelingScheme
+
+__all__ = ["DistanceLabel", "SizeLabel", "DistancePLS", "SizePLS"]
+
+
+@dataclass(frozen=True)
+class DistanceLabel:
+    """(ID, d) plus the parent variable the verifier reads alongside it."""
+
+    rid: int            # claimed root identity
+    par: int | None     # parent pointer (None at the root)
+    d: int              # claimed hop distance to the root
+
+
+@dataclass(frozen=True)
+class SizeLabel:
+    """(ID, s) plus the parent variable."""
+
+    rid: int
+    par: int | None
+    s: int              # claimed size of the subtree rooted here
+
+
+class DistancePLS(ProofLabelingScheme):
+    """The distance-based scheme for the family of all spanning trees."""
+
+    name = "distance-pls"
+
+    def prove(self, net: Network, tree: RootedTree) -> dict[int, DistanceLabel]:
+        return {
+            v: DistanceLabel(rid=tree.root, par=tree.parent(v), d=tree.depth(v))
+            for v in net.nodes
+        }
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, DistanceLabel]) -> bool:
+        lab = labels[node]
+        # bounded domain: a distance can never reach N
+        if not 0 <= lab.d < net.n_bound:
+            return False
+        # agreement on the root identity with *all* graph neighbors
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid:
+                return False
+        if lab.par is None:
+            return lab.rid == node and lab.d == 0
+        if lab.par not in net.neighbors(node):
+            return False
+        if node == lab.rid:
+            return False  # the root's owner must have par = None
+        return lab.d == labels[lab.par].d + 1
+
+    def label_bits(self, net: Network, label: DistanceLabel) -> int:
+        return (bits_for_id(net.id_space)
+                + bits_for_option(bits_for_id(net.id_space))
+                + bits_for_counter(net.n_bound))
+
+
+class SizePLS(ProofLabelingScheme):
+    """The size-based scheme for the family of all spanning trees."""
+
+    name = "size-pls"
+
+    def prove(self, net: Network, tree: RootedTree) -> dict[int, SizeLabel]:
+        sizes = tree.subtree_sizes()
+        return {
+            v: SizeLabel(rid=tree.root, par=tree.parent(v), s=sizes[v])
+            for v in net.nodes
+        }
+
+    def verify_at(self, net: Network, node: int,
+                  labels: Mapping[int, SizeLabel]) -> bool:
+        lab = labels[node]
+        if not 1 <= lab.s <= net.n_bound:
+            return False
+        for u in net.neighbors(node):
+            if labels[u].rid != lab.rid:
+                return False
+        if lab.par is not None and lab.par not in net.neighbors(node):
+            return False
+        if lab.par is None and lab.rid != node:
+            return False
+        if lab.par is not None and node == lab.rid:
+            return False
+        children = [u for u in net.neighbors(node) if labels[u].par == node]
+        return lab.s == 1 + sum(labels[u].s for u in children)
+
+    def label_bits(self, net: Network, label: SizeLabel) -> int:
+        return (bits_for_id(net.id_space)
+                + bits_for_option(bits_for_id(net.id_space))
+                + bits_for_counter(net.n_bound))

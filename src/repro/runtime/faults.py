@@ -1,0 +1,55 @@
+"""Transient fault injection.
+
+A fault corrupts the register of one or more nodes (Section II-A).  Node
+identities and edge weights are incorruptible constants; everything stored
+in registers is fair game, but a corrupted variable still holds a value of
+its field's domain (corruption "cannot result in storing a value with
+arbitrary large size").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.network import Network
+from repro.runtime.registers import RegisterSpec
+from repro.runtime.simulator import Config
+
+__all__ = ["corrupt_nodes", "corrupt_random_nodes"]
+
+
+def corrupt_nodes(
+    net: Network,
+    spec: RegisterSpec,
+    config: Config,
+    nodes: Sequence[int],
+    rng: random.Random,
+    field_names: Sequence[str] | None = None,
+) -> Config:
+    """Return a copy of ``config`` with the given nodes' registers corrupted.
+
+    ``field_names`` restricts corruption to specific fields (default: all).
+    """
+    out = {v: dict(state) for v, state in config.items()}
+    for v in nodes:
+        out[v].update(
+            spec.corrupt_state(net, v, rng,
+                               list(field_names) if field_names else None)
+        )
+    return out
+
+
+def corrupt_random_nodes(
+    net: Network,
+    spec: RegisterSpec,
+    config: Config,
+    k: int,
+    seed: int = 0,
+    field_names: Sequence[str] | None = None,
+) -> tuple[Config, list[int]]:
+    """Corrupt ``k`` uniformly random nodes; returns (new config, victims)."""
+    rng = random.Random(seed)
+    k = min(k, net.n)
+    victims = rng.sample(list(net.nodes), k)
+    return corrupt_nodes(net, spec, config, victims, rng, field_names), victims

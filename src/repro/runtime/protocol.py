@@ -1,0 +1,203 @@
+"""Guarded-rule protocols in the state model.
+
+A protocol defines, for every node, the transition function delta applied in
+one atomic step: read the node's own register and the registers of its
+neighbors, compute, write.  Concretely :meth:`Protocol.step` receives a
+:class:`NodeView` and returns either ``None`` (the node is *not enabled*:
+its register already holds what delta would write) or a dict of field
+updates (the node is *enabled*; applying the dict is its step).
+
+Determinism requirement: ``step`` must be a pure function of the view (the
+node's state, its neighbors' states, and the incorruptible constants).  The
+simulator relies on this to cache enabledness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+
+from repro.graphs.network import Network
+from repro.runtime.registers import RegisterSpec
+
+__all__ = ["NodeView", "Protocol", "ComposedProtocol"]
+
+
+class NodeView:
+    """Everything a node may legally read during one atomic step.
+
+    Exposes the node's incorruptible constants (its id, its neighbors, the
+    incident edge weights, the bounds ``n_bound`` and ``id_space``), its own
+    register, and its neighbors' registers.  Nothing else: protocols written
+    against this interface cannot cheat by peeking at global state.
+    """
+
+    __slots__ = ("net", "node", "_config")
+
+    def __init__(self, net: Network, node: int,
+                 config: Mapping[int, Mapping[str, object]]) -> None:
+        self.net = net
+        self.node = node
+        self._config = config
+
+    # -- incorruptible constants --------------------------------------
+
+    @property
+    def id(self) -> int:
+        return self.node
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        return self.net.neighbors(self.node)
+
+    @property
+    def degree(self) -> int:
+        return self.net.degree(self.node)
+
+    @property
+    def n_bound(self) -> int:
+        """Public upper bound N >= n."""
+        return self.net.n_bound
+
+    @property
+    def id_space(self) -> int:
+        return self.net.id_space
+
+    def weight(self, nbr: int) -> int:
+        """Weight of the edge to neighbor ``nbr``."""
+        return self.net.weight(self.node, nbr)
+
+    # -- registers ------------------------------------------------------
+
+    @property
+    def state(self) -> Mapping[str, object]:
+        """The node's own register."""
+        return self._config[self.node]
+
+    def __getitem__(self, field: str) -> object:
+        return self._config[self.node][field]
+
+    def nbr(self, nbr: int) -> Mapping[str, object]:
+        """A neighbor's register (read-only)."""
+        if nbr not in self.net.neighbors(self.node):
+            raise KeyError(f"{nbr} is not a neighbor of {self.node}")
+        return self._config[nbr]
+
+    def nbr_states(self):
+        """Iterate ``(neighbor_id, register)`` pairs."""
+        for u in self.net.neighbors(self.node):
+            yield u, self._config[u]
+
+    # -- derived tree-local helpers --------------------------------------
+    # These only use readable information (own register + neighbor
+    # registers), they are conveniences shared by the tree protocols.
+
+    def tree_children(self, parent_field: str = "par") -> tuple[int, ...]:
+        """Neighbors currently pointing at this node via ``parent_field``."""
+        me = self.node
+        return tuple(
+            u for u in self.net.neighbors(me)
+            if self._config[u].get(parent_field) == me
+        )
+
+    def tree_parent(self, parent_field: str = "par"):
+        """This node's parent pointer (may be NONE or a non-neighbor junk id)."""
+        return self._config[self.node].get(parent_field)
+
+
+class Protocol(ABC):
+    """A distributed algorithm in the state model."""
+
+    #: Short name used in reports.
+    name: str = "protocol"
+
+    @abstractmethod
+    def register_spec(self, net: Network) -> RegisterSpec:
+        """The register layout each node uses on network ``net``."""
+
+    @abstractmethod
+    def step(self, view: NodeView) -> dict[str, object] | None:
+        """The transition function delta.
+
+        Return ``None`` (or an empty/no-op dict) when the register already
+        holds what delta computes; otherwise return the new values for the
+        fields that change.
+        """
+
+    # -- optional hooks ---------------------------------------------------
+
+    def is_legal(self, net: Network, config: Mapping[int, Mapping[str, object]]) -> bool:
+        """Task-level legality predicate (used by tests, not by nodes)."""
+        raise NotImplementedError(f"{self.name} defines no legality predicate")
+
+    def initial_configuration(self, net: Network) -> dict[int, dict[str, object]]:
+        """The all-defaults configuration (NOT assumed by self-stabilization)."""
+        spec = self.register_spec(net)
+        return {v: spec.default_state(net, v) for v in net.nodes}
+
+
+class ComposedProtocol(Protocol):
+    """Hierarchical (collateral) composition of protocol layers.
+
+    Layers share one register; field names must not collide.  In one atomic
+    step the layers are evaluated in order and each layer sees the updates
+    proposed by the layers below it *at this node* (a node writes its whole
+    register atomically, so this is faithful to the state model), while
+    neighbor registers are read as they currently are.
+    """
+
+    def __init__(self, layers: list[Protocol], name: str = "composed") -> None:
+        if not layers:
+            raise ValueError("composition needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    def register_spec(self, net: Network) -> RegisterSpec:
+        spec = self.layers[0].register_spec(net)
+        for layer in self.layers[1:]:
+            spec = spec.merged(layer.register_spec(net))
+        return spec
+
+    def step(self, view: NodeView) -> dict[str, object] | None:
+        updates: dict[str, object] = {}
+        current = view._config
+        node = view.node
+        for layer in self.layers:
+            if updates:
+                # overlay this node's pending writes for the next layer
+                patched = dict(current[node])
+                patched.update(updates)
+                overlay = _Overlay(current, node, patched)
+                layer_view = NodeView(view.net, node, overlay)
+            else:
+                layer_view = view
+            delta = layer.step(layer_view)
+            if delta:
+                updates.update(delta)
+        return updates or None
+
+    def is_legal(self, net: Network, config) -> bool:
+        return all(_safe_legal(layer, net, config) for layer in self.layers)
+
+
+def _safe_legal(layer: Protocol, net: Network, config) -> bool:
+    try:
+        return layer.is_legal(net, config)
+    except NotImplementedError:
+        return True
+
+
+class _Overlay:
+    """A configuration view with one node's register patched."""
+
+    __slots__ = ("_base", "_node", "_patched")
+
+    def __init__(self, base, node: int, patched: dict[str, object]) -> None:
+        self._base = base
+        self._node = node
+        self._patched = patched
+
+    def __getitem__(self, node: int):
+        if node == self._node:
+            return self._patched
+        return self._base[node]

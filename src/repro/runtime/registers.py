@@ -1,0 +1,267 @@
+"""Registers with exact bit accounting.
+
+Each node owns a single-writer multiple-reader register partitioned into
+named *fields*.  A :class:`Field` bundles:
+
+* a default value (the value a freshly reset node holds),
+* an exact bit-size function for the values it can store,
+* a corruption sampler drawing an arbitrary value of the field's domain
+  (transient faults may write *any* domain value, per Section II-A; note
+  that a corrupted variable cannot hold a value of "arbitrary large size" —
+  corruption stays within the field's domain).
+
+The point of carrying encoders everywhere is that the paper's headline
+claims are *space* claims (O(log n) / O(log^2 n) bits per register); the
+benchmarks measure these numbers from live configurations instead of
+trusting the implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro._bits import (
+    bits_for_counter,
+    bits_for_enum,
+    bits_for_flag,
+    bits_for_id,
+    bits_for_option,
+    bits_for_weight,
+)
+from repro.graphs.network import Network
+
+__all__ = [
+    "NONE",
+    "Field",
+    "RegisterSpec",
+    "id_field",
+    "opt_id_field",
+    "counter_field",
+    "opt_counter_field",
+    "flag_field",
+    "enum_field",
+    "weight_field",
+    "edge_field",
+    "custom_field",
+]
+
+
+class _NoneValue:
+    """The register null marker (the paper's bottom symbol)."""
+
+    _instance: "_NoneValue | None" = None
+
+    def __new__(cls) -> "_NoneValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NONE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NONE = _NoneValue()
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named field of a node register.
+
+    Attributes
+    ----------
+    name:
+        Field name, unique within a :class:`RegisterSpec`.
+    default:
+        ``default(net, node) -> value`` — the reset value.
+    bits:
+        ``bits(net, value) -> int`` — exact storage cost of ``value``.
+    corrupt:
+        ``corrupt(net, node, rng) -> value`` — arbitrary domain value.
+    """
+
+    name: str
+    default: Callable[[Network, int], object]
+    bits: Callable[[Network, object], int]
+    corrupt: Callable[[Network, int, random.Random], object]
+
+
+def id_field(name: str, default=None) -> Field:
+    """A field storing a node identity from {1, ..., id_space}.
+
+    ``default``: None means "own id".
+    """
+
+    def default_fn(net: Network, node: int):
+        return node if default is None else default
+
+    return Field(
+        name=name,
+        default=default_fn,
+        bits=lambda net, value: bits_for_id(net.id_space),
+        corrupt=lambda net, node, rng: rng.randint(1, net.id_space),
+    )
+
+
+def opt_id_field(name: str) -> Field:
+    """An identity or NONE (e.g. a parent pointer; the root stores NONE)."""
+
+    def corrupt_fn(net: Network, node: int, rng: random.Random):
+        if rng.random() < 0.2:
+            return NONE
+        # corruption of a pointer usually lands on some id; bias toward
+        # neighbors so faults create plausible-looking (hard) states.
+        if net.neighbors(node) and rng.random() < 0.7:
+            return rng.choice(net.neighbors(node))
+        return rng.randint(1, net.id_space)
+
+    return Field(
+        name=name,
+        default=lambda net, node: NONE,
+        bits=lambda net, value: bits_for_option(bits_for_id(net.id_space)),
+        corrupt=corrupt_fn,
+    )
+
+
+def counter_field(name: str, max_value: Callable[[Network], int], default=0) -> Field:
+    """A bounded integer counter in {0, ..., max_value(net)}."""
+
+    return Field(
+        name=name,
+        default=lambda net, node: default,
+        bits=lambda net, value: bits_for_counter(max_value(net)),
+        corrupt=lambda net, node, rng: rng.randint(0, max_value(net)),
+    )
+
+
+def opt_counter_field(name: str, max_value: Callable[[Network], int]) -> Field:
+    """A bounded counter or NONE (a prunable label entry)."""
+
+    def corrupt_fn(net: Network, node: int, rng: random.Random):
+        if rng.random() < 0.2:
+            return NONE
+        return rng.randint(0, max_value(net))
+
+    return Field(
+        name=name,
+        default=lambda net, node: NONE,
+        bits=lambda net, value: bits_for_option(bits_for_counter(max_value(net))),
+        corrupt=corrupt_fn,
+    )
+
+
+def flag_field(name: str, default: bool = False) -> Field:
+    return Field(
+        name=name,
+        default=lambda net, node: default,
+        bits=lambda net, value: bits_for_flag(),
+        corrupt=lambda net, node, rng: rng.random() < 0.5,
+    )
+
+
+def enum_field(name: str, states: tuple, default_state=None) -> Field:
+    """A field over a fixed finite state set."""
+    if not states:
+        raise ValueError("enum_field needs at least one state")
+    default_value = states[0] if default_state is None else default_state
+
+    return Field(
+        name=name,
+        default=lambda net, node: default_value,
+        bits=lambda net, value: bits_for_enum(len(states)),
+        corrupt=lambda net, node, rng: rng.choice(states),
+    )
+
+
+def weight_field(name: str) -> Field:
+    """An edge weight or NONE."""
+
+    def corrupt_fn(net: Network, node: int, rng: random.Random):
+        if rng.random() < 0.2:
+            return NONE
+        return rng.randint(1, max(1, net.weight_space()))
+
+    return Field(
+        name=name,
+        default=lambda net, node: NONE,
+        bits=lambda net, value: bits_for_option(bits_for_weight(net.weight_space())),
+        corrupt=corrupt_fn,
+    )
+
+
+def edge_field(name: str) -> Field:
+    """An undirected edge (pair of ids) or NONE, e.g. a selected swap edge."""
+
+    def corrupt_fn(net: Network, node: int, rng: random.Random):
+        if rng.random() < 0.25:
+            return NONE
+        u = rng.randint(1, net.id_space)
+        v = rng.randint(1, net.id_space)
+        return (min(u, v), max(u, v)) if u != v else NONE
+
+    return Field(
+        name=name,
+        default=lambda net, node: NONE,
+        bits=lambda net, value: bits_for_option(2 * bits_for_id(net.id_space)),
+        corrupt=corrupt_fn,
+    )
+
+
+def custom_field(
+    name: str,
+    default: Callable[[Network, int], object],
+    bits: Callable[[Network, object], int],
+    corrupt: Callable[[Network, int, random.Random], object],
+) -> Field:
+    """Escape hatch for structured labels (NCA labels, Boruvka traces)."""
+    return Field(name=name, default=default, bits=bits, corrupt=corrupt)
+
+
+class RegisterSpec:
+    """The ordered collection of fields forming one node's register."""
+
+    def __init__(self, fields: list[Field]) -> None:
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            dupes = sorted({x for x in names if names.count(x) > 1})
+            raise ValueError(f"duplicate field names: {dupes}")
+        self._fields: tuple[Field, ...] = tuple(fields)
+        self._by_name: dict[str, Field] = {f.name: f for f in fields}
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    def field(self, name: str) -> Field:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def default_state(self, net: Network, node: int) -> dict[str, object]:
+        return {f.name: f.default(net, node) for f in self._fields}
+
+    def state_bits(self, net: Network, state: Mapping[str, object]) -> int:
+        """Exact bit size of one node's register contents."""
+        return sum(f.bits(net, state[f.name]) for f in self._fields)
+
+    def corrupt_state(self, net: Network, node: int, rng: random.Random,
+                      field_names: list[str] | None = None) -> dict[str, object]:
+        """Arbitrary domain values for the chosen fields (all by default)."""
+        targets = self.names if field_names is None else tuple(field_names)
+        return {name: self._by_name[name].corrupt(net, node, rng) for name in targets}
+
+    def merged(self, other: "RegisterSpec") -> "RegisterSpec":
+        """Concatenation of two registers (layer composition)."""
+        return RegisterSpec(list(self._fields) + list(other._fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterSpec({', '.join(self.names)})"

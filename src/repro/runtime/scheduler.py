@@ -1,0 +1,164 @@
+"""Schedulers (daemons).
+
+The paper assumes the *unfair scheduler*: at each step the adversary picks a
+non-empty subset of the enabled nodes, with no fairness obligation — a node
+may be starved for as long as any other node is enabled.  Self-stabilization
+must hold for every such adversary.
+
+We provide:
+
+* the synchronous daemon (all enabled nodes step together),
+* central daemons (exactly one node steps): uniform random, round-robin,
+  deterministic max-id / min-id (simple adversaries),
+* a distributed random daemon (every enabled node steps with probability p,
+  re-drawn until at least one steps),
+* a starvation adversary that delays a designated victim set as long as the
+  unfairness constraint allows.
+
+All schedulers are driven through :meth:`Scheduler.select`, which must
+return a non-empty subset of the enabled set.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "Scheduler",
+    "SynchronousScheduler",
+    "CentralRandomScheduler",
+    "CentralRoundRobinScheduler",
+    "CentralMaxIdScheduler",
+    "CentralMinIdScheduler",
+    "DistributedRandomScheduler",
+    "StarvingScheduler",
+    "ALL_SCHEDULER_FACTORIES",
+]
+
+
+class Scheduler(ABC):
+    """Chooses which enabled nodes take the next atomic step."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        """Return a non-empty subset of ``enabled`` (which is non-empty)."""
+
+
+class SynchronousScheduler(Scheduler):
+    """Every enabled node steps simultaneously."""
+
+    name = "synchronous"
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        return list(enabled)
+
+
+class CentralRandomScheduler(Scheduler):
+    """Exactly one uniformly random enabled node steps."""
+
+    name = "central-random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        return [self._rng.choice(list(enabled))]
+
+
+class CentralRoundRobinScheduler(Scheduler):
+    """One node steps; preference rotates cyclically through identities."""
+
+    name = "central-round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        ordered = sorted(enabled)
+        pick = next((u for u in ordered if u > self._cursor), ordered[0])
+        self._cursor = pick
+        return [pick]
+
+
+class CentralMaxIdScheduler(Scheduler):
+    """Deterministically favors the largest enabled identity."""
+
+    name = "central-max-id"
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        return [max(enabled)]
+
+
+class CentralMinIdScheduler(Scheduler):
+    """Deterministically favors the smallest enabled identity."""
+
+    name = "central-min-id"
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        return [min(enabled)]
+
+
+class DistributedRandomScheduler(Scheduler):
+    """Every enabled node steps independently with probability ``p``.
+
+    Redrawn until the selection is non-empty (the daemon must activate at
+    least one node).
+    """
+
+    name = "distributed-random"
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        pool = list(enabled)
+        while True:
+            chosen = [u for u in pool if self._rng.random() < self.p]
+            if chosen:
+                return chosen
+
+
+class StarvingScheduler(Scheduler):
+    """An unfair adversary that starves a victim set whenever it can.
+
+    While any non-victim node is enabled, only non-victims step (one at a
+    time, rotating); victims step only when they are the sole enabled nodes.
+    With ``victims=None`` the adversary starves whichever node has stepped
+    most recently (a LIFO-flavored unfairness).
+    """
+
+    name = "starving"
+
+    def __init__(self, victims: set[int] | None = None, seed: int = 0) -> None:
+        self.victims = set(victims) if victims is not None else None
+        self._rng = random.Random(seed)
+        self._last_stepped: int | None = None
+
+    def select(self, enabled: Sequence[int]) -> list[int]:
+        pool = list(enabled)
+        if self.victims is not None:
+            preferred = [u for u in pool if u not in self.victims]
+        else:
+            preferred = [u for u in pool if u != self._last_stepped]
+        choice = self._rng.choice(preferred or pool)
+        self._last_stepped = choice
+        return [choice]
+
+
+#: Factories for "run it under every daemon" tests: name -> seed -> Scheduler.
+ALL_SCHEDULER_FACTORIES: dict[str, Callable[[int], Scheduler]] = {
+    "synchronous": lambda seed: SynchronousScheduler(),
+    "central-random": lambda seed: CentralRandomScheduler(seed),
+    "central-round-robin": lambda seed: CentralRoundRobinScheduler(),
+    "central-max-id": lambda seed: CentralMaxIdScheduler(),
+    "central-min-id": lambda seed: CentralMinIdScheduler(),
+    "distributed-random": lambda seed: DistributedRandomScheduler(0.5, seed),
+    "starving": lambda seed: StarvingScheduler(None, seed),
+}

@@ -1,0 +1,268 @@
+"""The execution engine.
+
+Implements the paper's execution and complexity model:
+
+* **Atomic step**: a node reads its own register and its neighbors'
+  registers, applies the transition function, writes its register.
+* **Enabled node**: a node whose register differs from what the transition
+  function would write (equivalently, :meth:`Protocol.step` returns a
+  non-trivial update).
+* **Scheduler step**: the daemon activates a non-empty subset of the enabled
+  nodes; the activated nodes' writes are applied simultaneously, each based
+  on the pre-step configuration (single-writer registers make this sound).
+* **Round** (Section II-A): starting from a configuration, the round is the
+  shortest execution prefix in which every node enabled at the start has
+  either executed a step or become non-enabled because of a neighbor's step.
+* **Silence**: a configuration with no enabled node.  A silent
+  self-stabilizing algorithm must reach a *legal* silent configuration from
+  every initial configuration.
+
+The engine caches per-node step proposals and invalidates them only in the
+write-neighborhood of each applied step, so a step costs O(deg) proposal
+recomputations rather than O(n).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.graphs.network import Network
+from repro.runtime.protocol import NodeView, Protocol
+from repro.runtime.scheduler import Scheduler, SynchronousScheduler
+
+__all__ = ["Simulator", "RunResult", "random_configuration"]
+
+Config = dict[int, dict[str, object]]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (partial) execution."""
+
+    rounds: int
+    moves: int
+    silent: bool
+    stopped_by_predicate: bool = False
+    invariant_violations: int = 0
+    #: populated only when the simulator was created with ``record_trace``
+    trace: list[Config] = field(default_factory=list)
+
+    @property
+    def stabilized(self) -> bool:
+        """Whether the run ended in a silent configuration."""
+        return self.silent
+
+
+def random_configuration(net: Network, protocol: Protocol,
+                         seed: int = 0) -> Config:
+    """An *arbitrary* configuration: every field of every register corrupted.
+
+    This is the canonical starting point for self-stabilization tests: the
+    adversary has written arbitrary (domain-valid) values everywhere.
+    """
+    rng = random.Random(seed)
+    spec = protocol.register_spec(net)
+    return {v: spec.corrupt_state(net, v, rng) for v in net.nodes}
+
+
+class Simulator:
+    """Runs one protocol on one network under one scheduler."""
+
+    def __init__(
+        self,
+        net: Network,
+        protocol: Protocol,
+        scheduler: Scheduler | None = None,
+        config: Config | None = None,
+        invariant: Callable[[Network, Config], bool] | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.net = net
+        self.protocol = protocol
+        self.scheduler = scheduler or SynchronousScheduler()
+        self.spec = protocol.register_spec(net)
+        if config is None:
+            self.config: Config = protocol.initial_configuration(net)
+        else:
+            self.config = {v: dict(state) for v, state in config.items()}
+        self._check_config_shape()
+        self.invariant = invariant
+        self.record_trace = record_trace
+        self.moves = 0
+        self.rounds = 0
+        self._invariant_violations = 0
+        self._trace: list[Config] = []
+        # proposal cache: node -> (dict of changed fields) or None
+        self._proposal: dict[int, dict[str, object] | None] = {}
+        if record_trace:
+            self._snapshot()
+
+    # ------------------------------------------------------------------
+    # proposals and enabledness
+    # ------------------------------------------------------------------
+
+    def _propose(self, v: int) -> dict[str, object] | None:
+        """The pending write of node v, or None if v is not enabled."""
+        if v not in self._proposal:
+            view = NodeView(self.net, v, self.config)
+            delta = self.protocol.step(view)
+            if delta:
+                own = self.config[v]
+                delta = {k: val for k, val in delta.items() if own[k] != val}
+            self._proposal[v] = delta if delta else None
+        return self._proposal[v]
+
+    def enabled_nodes(self) -> list[int]:
+        """All currently enabled nodes."""
+        return [v for v in self.net.nodes if self._propose(v) is not None]
+
+    def is_silent(self) -> bool:
+        return not self.enabled_nodes()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _apply_batch(self, nodes: list[int]) -> None:
+        """Apply the cached proposals of ``nodes`` simultaneously."""
+        # gather first: every write must be based on the pre-step state
+        writes = []
+        for v in nodes:
+            delta = self._propose(v)
+            if delta is not None:
+                writes.append((v, delta))
+        for v, delta in writes:
+            self.config[v].update(delta)
+            self.moves += 1
+        # invalidate proposals in the write neighborhoods
+        for v, _ in writes:
+            self._proposal.pop(v, None)
+            for u in self.net.neighbors(v):
+                self._proposal.pop(u, None)
+        if writes:
+            if self.invariant is not None and not self.invariant(self.net, self.config):
+                self._invariant_violations += 1
+            if self.record_trace:
+                self._snapshot()
+
+    def run_round(self, max_moves: int | None = None) -> bool:
+        """Execute one full round.  Returns False if already silent.
+
+        A round completes when every node that was enabled at the start has
+        stepped or been neutralized by a neighbor's step.  A generous
+        default move budget turns scheduler-starvation livelocks into
+        diagnosable errors instead of hangs.
+        """
+        pending = set(self.enabled_nodes())
+        if not pending:
+            return False
+        if max_moves is None:
+            max_moves = 200 * self.net.n * self.net.n_bound + 10_000
+        budget = max_moves
+        while pending:
+            current = self.enabled_nodes()
+            pending &= set(current)
+            if not pending:
+                break
+            chosen = self.scheduler.select(current)
+            if not chosen:
+                raise RuntimeError(f"{self.scheduler.name} selected no node")
+            self._apply_batch(chosen)
+            pending -= set(chosen)
+            budget -= len(chosen)
+            if budget <= 0:
+                raise RuntimeError(
+                    f"round exceeded {max_moves} moves "
+                    f"(protocol={self.protocol.name}, n={self.net.n})"
+                )
+        self.rounds += 1
+        return True
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_when: Callable[[Network, Config], bool] | None = None,
+        max_moves_per_round: int | None = None,
+    ) -> RunResult:
+        """Run until silence, the predicate, or the round budget.
+
+        Raises RuntimeError if ``max_rounds`` is exhausted before silence
+        (or before ``stop_when`` holds, when provided): a self-stabilizing
+        run that does not converge within its budget is a failure, not a
+        result.
+        """
+        stopped = False
+        for _ in range(max_rounds):
+            if stop_when is not None and stop_when(self.net, self.config):
+                stopped = True
+                break
+            progressed = self.run_round(max_moves=max_moves_per_round)
+            if not progressed:
+                break
+        else:
+            if stop_when is None or not stop_when(self.net, self.config):
+                raise RuntimeError(
+                    f"no convergence within {max_rounds} rounds "
+                    f"(protocol={self.protocol.name}, n={self.net.n}, "
+                    f"scheduler={self.scheduler.name}, "
+                    f"enabled={len(self.enabled_nodes())})"
+                )
+            stopped = True
+        return RunResult(
+            rounds=self.rounds,
+            moves=self.moves,
+            silent=self.is_silent(),
+            stopped_by_predicate=stopped,
+            invariant_violations=self._invariant_violations,
+            trace=self._trace,
+        )
+
+    def run_to_silence(self, max_rounds: int) -> RunResult:
+        return self.run(max_rounds=max_rounds)
+
+    def confirm_silent(self, extra_rounds: int = 3) -> bool:
+        """Certify silence: no node is enabled, now and after prodding.
+
+        Because enabledness is a pure function of the configuration, one
+        check suffices; the extra rounds assert that running the engine
+        does not manufacture moves.
+        """
+        if not self.is_silent():
+            return False
+        before = self.moves
+        for _ in range(extra_rounds):
+            if self.run_round():
+                return False
+        return self.moves == before
+
+    # ------------------------------------------------------------------
+    # fault injection entry point
+    # ------------------------------------------------------------------
+
+    def overwrite(self, node: int, updates: dict[str, object]) -> None:
+        """Adversarially overwrite parts of one node's register."""
+        unknown = set(updates) - set(self.spec.names)
+        if unknown:
+            raise KeyError(f"unknown fields: {sorted(unknown)}")
+        self.config[node].update(updates)
+        self._proposal.pop(node, None)
+        for u in self.net.neighbors(node):
+            self._proposal.pop(u, None)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> None:
+        self._trace.append({v: dict(s) for v, s in self.config.items()})
+
+    def _check_config_shape(self) -> None:
+        names = set(self.spec.names)
+        for v in self.net.nodes:
+            if v not in self.config:
+                raise ValueError(f"configuration missing node {v}")
+            missing = names - set(self.config[v])
+            if missing:
+                raise ValueError(f"node {v} register missing fields {sorted(missing)}")

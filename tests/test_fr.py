@@ -1,0 +1,301 @@
+"""Tests for Section VIII at the sequential level: the marking cascade,
+FR-tree membership, Algorithm 4, the exact-MDST oracle, and the FR PLS
+(Lemma 8.1)."""
+
+import math
+
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import exact_minimum_degree
+from repro.baselines.exact_mdst import spanning_tree_with_max_degree
+from repro.core import bfs_tree, dfs_tree, random_spanning_tree, tree_from_edges
+from repro.core.fr import fr_marking, fuerer_raghavachari, is_fr_tree
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    star_graph,
+    theta_graph,
+    wheel_graph,
+)
+from repro.labeling.fr_pls import FRTreePLS
+
+SMALL = [
+    ring(8, seed=1),
+    path_graph(7, seed=2),
+    grid_graph(3, 3, seed=3),
+    theta_graph([2, 3, 4], seed=4),
+    wheel_graph(8, seed=5),
+    complete_graph(7, seed=6),
+    random_connected_graph(10, seed=7),
+    random_connected_graph(10, extra_edges=20, seed=8),
+]
+
+IDS = [f"g{i}n{n.n}" for i, n in enumerate(SMALL)]
+
+
+class TestExactMDST:
+    def test_path_graph_opt_2(self):
+        net = path_graph(6, seed=9)
+        assert exact_minimum_degree(net) == 2
+
+    def test_star_graph_opt_is_hub_degree(self):
+        net = star_graph(7, seed=10)
+        assert exact_minimum_degree(net) == 6
+
+    def test_ring_opt_2(self):
+        net = ring(9, seed=11)
+        assert exact_minimum_degree(net) == 2
+
+    def test_complete_graph_hamiltonian(self):
+        net = complete_graph(8, seed=12)
+        assert exact_minimum_degree(net) == 2  # K_n has a Hamiltonian path
+
+    def test_grid_is_hamiltonian(self):
+        net = grid_graph(3, 4, seed=13)
+        assert exact_minimum_degree(net) == 2
+
+    def test_degree_bound_respected(self):
+        net = random_connected_graph(10, seed=14)
+        k = exact_minimum_degree(net)
+        edges = spanning_tree_with_max_degree(net, k)
+        tree = tree_from_edges(net, edges, root=net.min_id)
+        assert tree.max_degree() == k
+        assert spanning_tree_with_max_degree(net, k - 1) is None
+
+
+class TestMarkingCascade:
+    def test_low_degree_nodes_good(self):
+        net = random_connected_graph(12, seed=15)
+        tree = bfs_tree(net)
+        m = fr_marking(net, tree)
+        for v in net.nodes:
+            if tree.degree(v) <= m.degree - 2:
+                assert v in m.good
+
+    def test_witnesses_only_on_formerly_bad(self):
+        net = random_connected_graph(12, seed=16)
+        tree = bfs_tree(net)
+        m = fr_marking(net, tree)
+        for x in m.witness:
+            assert tree.degree(x) >= m.degree - 1
+            assert x in m.good
+
+    def test_fragments_are_connected_good_components(self):
+        net = random_connected_graph(14, seed=17)
+        tree = random_spanning_tree(net, seed=18)
+        m = fr_marking(net, tree)
+        # fragment ids are owned by members at hop distance 0
+        for v in m.good:
+            assert (m.fragments[v] == v) == (m.fragment_dist[v] == 0)
+        by_frag = {}
+        for v in m.good:
+            by_frag.setdefault(m.fragments[v], set()).add(v)
+        for owner, members in by_frag.items():
+            assert owner in members
+            assert net.is_connected_subset(members) or _tree_connected(tree, members)
+
+    def test_hamiltonian_path_is_fr(self):
+        """The paper's example: a Hamiltonian path is an FR-tree (all nodes
+        of degree >= k-1 = 1 may stay bad)."""
+        net = ring(8, scramble_ids=False)
+        parent = {i: i - 1 if i > 1 else None for i in net.nodes}
+        tree = tree_from_edges(
+            net, [(i, i + 1) for i in range(1, 8)], root=1)
+        assert tree.max_degree() == 2
+        assert is_fr_tree(net, tree)
+
+    def test_star_tree_in_star_graph_is_fr(self):
+        """In a star graph the only spanning tree is the star: trivially FR
+        (no alternative edges exist)."""
+        net = star_graph(6, seed=19)
+        tree = bfs_tree(net)
+        assert is_fr_tree(net, tree)
+
+
+def _tree_connected(tree, members):
+    members = set(members)
+    start = next(iter(members))
+    seen = {start}
+    stack = [start]
+    while stack:
+        x = stack.pop()
+        for y in tree.tree_neighbors(x):
+            if y in members and y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return seen == members
+
+
+class TestAlgorithm4:
+    @pytest.mark.parametrize("net", SMALL, ids=IDS)
+    def test_output_is_fr_tree(self, net):
+        for seed in range(3):
+            run = fuerer_raghavachari(net, random_spanning_tree(net, seed=seed))
+            assert is_fr_tree(net, run.tree)
+            assert run.marking.is_fr
+
+    @pytest.mark.parametrize("net", SMALL, ids=IDS)
+    def test_degree_within_one_of_optimal(self, net):
+        """Theorem 2.2 of [33] through our pipeline, checked against the
+        exact oracle."""
+        opt = exact_minimum_degree(net)
+        for seed in range(3):
+            run = fuerer_raghavachari(net, random_spanning_tree(net, seed=seed))
+            assert run.degree <= opt + 1, (run.degree, opt)
+
+    def test_degree_history_non_increasing(self):
+        net = random_connected_graph(12, extra_edges=24, seed=20)
+        run = fuerer_raghavachari(net, dfs_tree(net))
+        for a, b in zip(run.degree_history, run.degree_history[1:]):
+            assert b <= a
+
+    def test_improves_bad_initial_tree(self):
+        """A star-ish DFS tree of a dense graph has a high degree; FR must
+        bring it within +1 of optimal."""
+        net = complete_graph(10, seed=21)
+        start = bfs_tree(net)  # in K_n the BFS tree is a star: degree n-1
+        assert start.max_degree() == net.n - 1
+        run = fuerer_raghavachari(net, start)
+        assert run.degree <= 3  # OPT = 2 (Hamiltonian path)
+
+    def test_lollipop(self):
+        net = lollipop_graph(6, 4, seed=22)
+        opt = exact_minimum_degree(net)
+        run = fuerer_raghavachari(net)
+        assert run.degree <= opt + 1
+
+    def test_hypercube(self):
+        net = hypercube_graph(3, seed=23)
+        run = fuerer_raghavachari(net)
+        assert run.degree <= exact_minimum_degree(net) + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_graphs_property(self, seed):
+        net = random_connected_graph(9, extra_edges=seed % 12,
+                                     seed=seed % 500)
+        run = fuerer_raghavachari(net, random_spanning_tree(net, seed=seed))
+        assert is_fr_tree(net, run.tree)
+        assert run.degree <= exact_minimum_degree(net) + 1
+
+
+class TestFRTreePLS:
+    """Lemma 8.1: O(log n)-bit certificates for FR-trees."""
+
+    def _fr_instance(self, net, seed=0):
+        run = fuerer_raghavachari(net, random_spanning_tree(net, seed=seed))
+        return run.tree, run.marking
+
+    @pytest.mark.parametrize("net", SMALL, ids=IDS)
+    def test_prover_accepted(self, net):
+        tree, marking = self._fr_instance(net)
+        pls = FRTreePLS()
+        labels = pls.prove(net, tree, marking)
+        res = pls.verify(net, labels)
+        assert res.accepted, res.rejecting_nodes
+
+    def test_prove_rejects_non_fr_tree(self):
+        net = complete_graph(8, seed=24)
+        star = bfs_tree(net)
+        assert not is_fr_tree(net, star)
+        with pytest.raises(ValueError, match="FR-tree"):
+            FRTreePLS().prove(net, star)
+
+    def test_good_degree_k_node_rejected(self):
+        net = random_connected_graph(12, extra_edges=18, seed=25)
+        tree, marking = self._fr_instance(net)
+        pls = FRTreePLS()
+        labels = pls.prove(net, tree, marking)
+        hot = [v for v in net.nodes if tree.degree(v) == marking.degree][0]
+        bad = dict(labels)
+        bad[hot] = replace(bad[hot], good=True,
+                           frag=hot, fdist=0)
+        assert not pls.verify(net, bad)
+
+    def test_inflated_degree_claim_rejected(self):
+        """Claiming k = real degree + 1 breaks the dk_dist owner chain:
+        nobody has degree k, so no node can hold dk_dist = 0."""
+        net = random_connected_graph(12, seed=26)
+        tree, marking = self._fr_instance(net)
+        pls = FRTreePLS()
+        labels = pls.prove(net, tree, marking)
+        bad = {v: replace(lab, k=lab.k + 1) for v, lab in labels.items()}
+        assert not pls.verify(net, bad)
+
+    def test_ghost_fragment_id_rejected(self):
+        net = random_connected_graph(12, seed=27)
+        tree, marking = self._fr_instance(net)
+        pls = FRTreePLS()
+        labels = pls.prove(net, tree, marking)
+        good_nodes = [v for v in net.nodes if labels[v].good]
+        if not good_nodes:
+            pytest.skip("instance has no good nodes")
+        v = good_nodes[0]
+        bad = dict(labels)
+        bad[v] = replace(bad[v], frag=0, fdist=3)  # nobody owns id 0
+        assert not pls.verify(net, bad)
+
+    def test_cross_fragment_edge_rejected(self):
+        """Forging two fragment ids across a graph edge between good nodes
+        violates Definition 8.1 (3) and is caught at an endpoint."""
+        net = random_connected_graph(14, extra_edges=20, seed=28)
+        tree, marking = self._fr_instance(net)
+        pls = FRTreePLS()
+        labels = pls.prove(net, tree, marking)
+        # find a graph edge between good nodes
+        pair = None
+        for u, v in net.edges:
+            if labels[u].good and labels[v].good:
+                pair = (u, v)
+                break
+        if pair is None:
+            pytest.skip("no good-good edge in this instance")
+        u, v = pair
+        bad = dict(labels)
+        bad[v] = replace(bad[v], frag=v, fdist=0)
+        assert not pls.verify(net, bad)
+
+    def test_label_bits_logarithmic(self):
+        pls = FRTreePLS()
+        for n in (8, 16, 32):
+            net = random_connected_graph(n, seed=29)
+            tree, marking = self._fr_instance(net)
+            labels = pls.prove(net, tree, marking)
+            bits = pls.max_label_bits(net, labels)
+            assert bits <= 10 * math.log2(net.id_space) + 20
+
+
+class TestFRSubclassStrictness:
+    """Context for Proposition 8.1: FR-trees are a strict subclass of the
+    degree-(OPT+1) spanning trees — some near-optimal trees are NOT
+    FR-trees, which is why the PLS certifies FR-ness, not near-optimality."""
+
+    def test_near_optimal_non_fr_tree_exists(self):
+        found = False
+        for seed in range(60):
+            net = random_connected_graph(8, extra_edges=6, seed=seed)
+            opt = exact_minimum_degree(net)
+            for tseed in range(6):
+                t = random_spanning_tree(net, seed=tseed)
+                if t.max_degree() == opt + 1 and not is_fr_tree(net, t):
+                    found = True
+                    break
+            if found:
+                break
+        assert found, "expected some degree-(OPT+1) tree that is not FR"
+
+    def test_fr_trees_always_within_one(self):
+        for seed in range(20):
+            net = random_connected_graph(8, extra_edges=seed % 10, seed=seed)
+            opt = exact_minimum_degree(net)
+            for tseed in range(4):
+                t = random_spanning_tree(net, seed=tseed)
+                if is_fr_tree(net, t):
+                    assert t.max_degree() <= opt + 1

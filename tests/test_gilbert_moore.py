@@ -1,0 +1,72 @@
+"""Property tests for the Gilbert–Moore alphabetic codes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.labeling.gilbert_moore import code_lengths, gilbert_moore_code
+
+
+def is_prefix_free(codes):
+    for i, a in enumerate(codes):
+        for j, b in enumerate(codes):
+            if i != j and b.startswith(a):
+                return False
+    return True
+
+
+class TestGilbertMoore:
+    def test_empty(self):
+        assert gilbert_moore_code([]) == []
+
+    def test_single_symbol(self):
+        codes = gilbert_moore_code([5])
+        assert len(codes) == 1
+        assert len(codes[0]) == 1  # ceil(log2(1)) + 1
+
+    def test_uniform_weights(self):
+        codes = gilbert_moore_code([1, 1, 1, 1])
+        assert is_prefix_free(codes)
+        assert all(len(c) == 3 for c in codes)  # ceil(log2 4) + 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gilbert_moore_code([1, 0, 2])
+
+    def test_lengths_formula(self):
+        weights = [1, 2, 4, 8, 1]
+        total = sum(weights)
+        for w, length in zip(weights, code_lengths(weights)):
+            assert length == math.ceil(math.log2(total / w)) + 1
+
+    def test_heavy_symbol_gets_short_code(self):
+        codes = gilbert_moore_code([1, 100, 1])
+        assert len(codes[1]) < len(codes[0])
+
+    @settings(max_examples=200, deadline=None)
+    @given(weights=st.lists(st.integers(1, 1000), min_size=1, max_size=20))
+    def test_prefix_free_property(self, weights):
+        codes = gilbert_moore_code(weights)
+        assert is_prefix_free(codes)
+
+    @settings(max_examples=200, deadline=None)
+    @given(weights=st.lists(st.integers(1, 1000), min_size=2, max_size=20))
+    def test_alphabetic_property(self, weights):
+        """Codewords increase lexicographically with the symbol index."""
+        codes = gilbert_moore_code(weights)
+        for a, b in zip(codes, codes[1:]):
+            assert a < b
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=st.lists(st.integers(1, 10_000), min_size=1, max_size=30))
+    def test_length_bound_property(self, weights):
+        total = sum(weights)
+        for w, code in zip(weights, gilbert_moore_code(weights)):
+            assert len(code) <= math.log2(total / w) + 2 + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=st.lists(st.integers(1, 100), min_size=1, max_size=15))
+    def test_distinct_codewords(self, weights):
+        codes = gilbert_moore_code(weights)
+        assert len(set(codes)) == len(codes)

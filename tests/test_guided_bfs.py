@@ -1,0 +1,161 @@
+"""End-to-end distributed reproduction of the Section III example:
+silent self-stabilizing PLS-guided BFS construction (Theorem 3.1 instance).
+
+The composed protocol (malleable tree layer + phase layer) must, from any
+initial configuration, reach a silent configuration whose tree is a BFS
+tree of the min-identity root — improving the tree through Section IV
+switches chosen by the potential's local detector along the way.
+"""
+
+import math
+
+import pytest
+
+from repro.core import bfs_tree, dfs_tree
+from repro.core.bfs import is_bfs_tree
+from repro.core.swap import MalleableTreeProtocol, tree_of_config
+from repro.core.tasks import GuidedBFS, guided_bfs_protocol
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    lollipop_graph,
+    random_connected_graph,
+    ring,
+    theta_graph,
+)
+from repro.runtime import (
+    NONE,
+    CentralRandomScheduler,
+    DistributedRandomScheduler,
+    Simulator,
+    StarvingScheduler,
+    SynchronousScheduler,
+    corrupt_random_nodes,
+    max_register_bits,
+    random_configuration,
+)
+
+NETS = [
+    ring(8, seed=1),
+    grid_graph(3, 3, seed=2),
+    theta_graph([3, 4], seed=3),
+    lollipop_graph(4, 3, seed=4),
+    random_connected_graph(10, seed=5),
+]
+
+IDS = [f"g{i}n{n.n}" for i, n in enumerate(NETS)]
+
+
+def legal_config_with_tree(net, tree):
+    """A configuration whose tree layer encodes ``tree`` with correct
+    labels but whose task layer starts at defaults."""
+    proto = guided_bfs_protocol()
+    base = MalleableTreeProtocol().legal_configuration(net, tree)
+    cfg = proto.initial_configuration(net)
+    for v in net.nodes:
+        cfg[v].update(base[v])
+    return proto, cfg
+
+
+class TestGuidedBFSConvergence:
+    @pytest.mark.parametrize("net", NETS, ids=IDS)
+    def test_from_non_bfs_tree(self, net):
+        """Start from a legal but non-BFS tree: the task layer must drive
+        Section IV switches until the tree is BFS."""
+        start = dfs_tree(net)
+        proto, cfg = legal_config_with_tree(net, start)
+        sim = Simulator(net, proto, SynchronousScheduler(), config=cfg)
+        result = sim.run(max_rounds=400 * net.n * net.n)
+        assert result.silent
+        tree = tree_of_config(net, sim.config)
+        assert is_bfs_tree(net, tree)
+
+    @pytest.mark.parametrize("net", NETS, ids=IDS)
+    def test_from_arbitrary_configuration(self, net):
+        proto = guided_bfs_protocol()
+        for seed in range(3):
+            cfg = random_configuration(net, proto, seed=seed)
+            sim = Simulator(net, proto, config=cfg)
+            result = sim.run(max_rounds=400 * net.n * net.n)
+            assert result.silent, seed
+            tree = tree_of_config(net, sim.config)
+            assert is_bfs_tree(net, tree), seed
+
+    def test_already_bfs_is_silent_quickly(self):
+        net = random_connected_graph(12, seed=6)
+        proto, cfg = legal_config_with_tree(net, bfs_tree(net))
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=10 * net.n)
+        assert result.silent
+        assert tree_of_config(net, sim.config).same_edges(bfs_tree(net))
+
+    @pytest.mark.parametrize("make_sched", [
+        lambda: SynchronousScheduler(),
+        lambda: CentralRandomScheduler(seed=7),
+        lambda: DistributedRandomScheduler(0.5, seed=8),
+        lambda: StarvingScheduler(None, seed=9),
+    ], ids=["sync", "central", "distributed", "starving"])
+    def test_under_schedulers(self, make_sched):
+        net = grid_graph(3, 3, seed=10)
+        start = dfs_tree(net)
+        proto, cfg = legal_config_with_tree(net, start)
+        sim = Simulator(net, proto, make_sched(), config=cfg)
+        result = sim.run(max_rounds=3000 * net.n)
+        assert result.silent
+        assert is_bfs_tree(net, tree_of_config(net, sim.config))
+
+    def test_fault_recovery(self):
+        net = random_connected_graph(10, seed=11)
+        proto = guided_bfs_protocol()
+        sim = Simulator(net, proto,
+                        config=random_configuration(net, proto, seed=12))
+        sim.run(max_rounds=400 * net.n * net.n)
+        corrupted, _ = corrupt_random_nodes(net, sim.spec, sim.config,
+                                            k=3, seed=13)
+        sim2 = Simulator(net, proto, config=corrupted)
+        result = sim2.run(max_rounds=400 * net.n * net.n)
+        assert result.silent
+        assert is_bfs_tree(net, tree_of_config(net, sim2.config))
+
+    def test_silence_certified(self):
+        net = theta_graph([3, 4], seed=14)
+        proto, cfg = legal_config_with_tree(net, dfs_tree(net))
+        sim = Simulator(net, proto, config=cfg)
+        sim.run(max_rounds=400 * net.n * net.n)
+        assert sim.confirm_silent()
+
+
+class TestGuidedBFSComplexity:
+    def test_register_bits_logarithmic(self):
+        for n in (8, 16, 32):
+            net = random_connected_graph(n, seed=15)
+            proto, cfg = legal_config_with_tree(net, dfs_tree(net))
+            sim = Simulator(net, proto, config=cfg)
+            sim.run(max_rounds=400 * n * n)
+            bits = max_register_bits(net, sim.spec, sim.config)
+            assert bits <= 20 * math.log2(net.id_space) + 40
+
+    def test_loop_free_throughout(self):
+        """The tree-layer invariant holds across the whole guided run."""
+        net = lollipop_graph(4, 3, seed=16)
+
+        def invariant(n, cfg):
+            try:
+                tree_of_config(n, cfg)
+                return True
+            except ValueError:
+                return False
+
+        proto, cfg = legal_config_with_tree(net, dfs_tree(net))
+        sim = Simulator(net, proto, SynchronousScheduler(), config=cfg,
+                        invariant=invariant)
+        result = sim.run(max_rounds=400 * net.n * net.n)
+        assert result.silent
+        assert result.invariant_violations == 0
+
+    def test_root_stays_min_id(self):
+        net = random_connected_graph(12, seed=17)
+        proto, cfg = legal_config_with_tree(net, dfs_tree(net))
+        sim = Simulator(net, proto, config=cfg)
+        sim.run(max_rounds=400 * net.n * net.n)
+        assert tree_of_config(net, sim.config).root == net.min_id

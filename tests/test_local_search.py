@@ -1,0 +1,106 @@
+"""Tests for the Algorithm 1 engine and the Section III BFS example."""
+
+import pytest
+
+from repro.core import bfs_tree, dfs_tree, random_spanning_tree
+from repro.core.bfs import BFSPotential, is_bfs_tree
+from repro.core.local_search import pls_guided_construction
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    lollipop_graph,
+    random_connected_graph,
+    ring,
+    theta_graph,
+)
+
+GRAPHS = [
+    ring(9, seed=1),
+    grid_graph(4, 4, seed=2),
+    theta_graph([3, 4, 6], seed=3),
+    lollipop_graph(5, 5, seed=4),
+    complete_graph(8, seed=5),
+    random_connected_graph(18, seed=6),
+]
+
+IDS = [f"g{i}n{n.n}" for i, n in enumerate(GRAPHS)]
+
+
+class TestBFSPotential:
+    @pytest.mark.parametrize("net", GRAPHS, ids=IDS)
+    def test_zero_iff_bfs(self, net):
+        pot = BFSPotential()
+        t = bfs_tree(net)
+        assert pot.value(net, t) == 0
+        assert is_bfs_tree(net, t)
+        d = dfs_tree(net)
+        assert (pot.value(net, d) == 0) == is_bfs_tree(net, d)
+
+    @pytest.mark.parametrize("net", GRAPHS, ids=IDS)
+    def test_algorithm1_constructs_bfs_tree(self, net):
+        pot = BFSPotential()
+        for seed in range(3):
+            start = random_spanning_tree(net, seed=seed, root=net.min_id)
+            run = pls_guided_construction(net, pot, initial_tree=start)
+            assert is_bfs_tree(net, run.tree)
+            assert run.tree.root == start.root
+
+    def test_phi_strictly_decreasing(self):
+        """The BFS potential IS cyclical-decreasing under recomputation
+        (unlike the MST trace potential, see repro.core.mst)."""
+        net = lollipop_graph(5, 6, seed=7)
+        pot = BFSPotential()
+        run = pls_guided_construction(net, pot,
+                                      initial_tree=dfs_tree(net))
+        for a, b in zip(run.phi_history, run.phi_history[1:]):
+            assert b < a
+
+    def test_phi_max_bound(self):
+        pot = BFSPotential()
+        for net in GRAPHS:
+            for seed in range(3):
+                t = random_spanning_tree(net, seed=seed)
+                assert 0 <= pot.value(net, t) <= pot.max_value(net)
+
+    def test_iterations_within_phi_max(self):
+        pot = BFSPotential()
+        for net in GRAPHS:
+            run = pls_guided_construction(net, pot, initial_tree=dfs_tree(net))
+            assert run.iterations <= pot.max_value(net)
+
+    def test_dfs_tree_of_complete_graph_needs_work(self):
+        """In K_n the DFS tree is a path (phi > 0): the engine must actually
+        perform swaps to flatten it into a star (the BFS tree)."""
+        net = complete_graph(9, seed=8)
+        pot = BFSPotential()
+        d = dfs_tree(net)
+        assert pot.value(net, d) > 0
+        run = pls_guided_construction(net, pot, initial_tree=d)
+        assert run.iterations > 0
+        assert run.tree.height() == 1
+
+    def test_improvement_is_none_only_at_zero(self):
+        net = random_connected_graph(15, seed=9)
+        pot = BFSPotential()
+        for seed in range(5):
+            t = random_spanning_tree(net, seed=seed)
+            pair = pot.find_improvement(net, t)
+            if pot.value(net, t) == 0:
+                assert pair is None
+            # a non-zero potential does not guarantee a local improvement
+            # candidate at *every* node, but the engine never needs one when
+            # phi = 0
+
+    def test_engine_raises_on_budget_exhaustion(self):
+        """A potential that lies about phi_max is caught by the engine."""
+        net = ring(8, seed=10)
+
+        class LyingPotential(BFSPotential):
+            def max_value(self, net):
+                return 0
+
+        d = dfs_tree(net)
+        pot = LyingPotential()
+        if pot.value(net, d) > 0:
+            with pytest.raises(RuntimeError, match="phi_max"):
+                pls_guided_construction(net, pot, initial_tree=d)

@@ -1,0 +1,302 @@
+"""Reproduction tests for Lemma 4.1 and the Section IV switch mechanics.
+
+The three claims under test:
+
+1. *Completeness under pruning*: every legal pruning of a correct redundant
+   labeling of a spanning tree is accepted at every node.
+2. *Soundness*: every labeling (pruned or not) of a non-tree is rejected at
+   some node.
+3. *Malleability in action* (Fig. 1): along the full three-phase trace of a
+   local switch — and of a whole T + e - f chain — every intermediate
+   configuration is accepted at every node, and every intermediate parent
+   map is a spanning tree (loop-freeness).
+"""
+
+import random
+
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RootedTree, bfs_tree, random_spanning_tree
+from repro.graphs import (
+    UWEdge,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    theta_graph,
+)
+from repro.labeling.malleable import MalleableLabel, MalleablePLS
+
+SCHEME = MalleablePLS()
+
+
+def parent_map_of(labels):
+    return {v: lab.par for v, lab in labels.items()}
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("net", [
+        path_graph(6, seed=1),
+        ring(8, seed=2),
+        grid_graph(3, 4, seed=3),
+        random_connected_graph(15, seed=4),
+        complete_graph(6, seed=5),
+    ], ids=lambda n: f"n{n.n}m{n.m}")
+    def test_full_labels_accepted(self, net):
+        for seed in range(3):
+            tree = random_spanning_tree(net, seed=seed)
+            labels = SCHEME.prove(net, tree)
+            assert SCHEME.verify(net, labels).accepted
+
+    def test_size_pruned_root_path_accepted(self):
+        net = random_connected_graph(14, seed=6)
+        tree = random_spanning_tree(net, seed=7)
+        labels = SCHEME.prove(net, tree)
+        for target in list(net.nodes)[:6]:
+            cur = labels
+            for cfg in SCHEME.prune_size_on_root_path(labels, tree, target):
+                res = SCHEME.verify(net, cfg)
+                assert res.accepted, (target, res.rejecting_nodes)
+                cur = cfg
+
+    def test_distance_pruned_subtree_accepted(self):
+        net = random_connected_graph(14, seed=8)
+        tree = random_spanning_tree(net, seed=9)
+        labels = SCHEME.prove(net, tree)
+        for top in list(net.nodes)[:6]:
+            for cfg in SCHEME.prune_distance_below(labels, tree, top):
+                res = SCHEME.verify(net, cfg)
+                assert res.accepted, (top, res.rejecting_nodes)
+
+    def test_combined_prunings_accepted(self):
+        """Sizes pruned on the two root paths + distances pruned below the
+        switching node: exactly the pre-switch configuration of Fig. 1b.
+        (The two pruned regions are disjoint for any legal switch: the root
+        paths consist of ancestors of w and w', which never lie inside the
+        moving subtree.)"""
+        net = random_connected_graph(16, seed=10)
+        tree = random_spanning_tree(net, seed=11)
+        labels = SCHEME.prove(net, tree)
+        checked = 0
+        for v in net.nodes:
+            w = tree.parent(v)
+            if w is None:
+                continue
+            sub = tree.subtree_nodes(v)
+            targets = [u for u in net.neighbors(v) if u != w and u not in sub]
+            if not targets:
+                continue
+            w_prime = targets[0]
+            cfg = labels
+            for t in (w, w_prime):
+                for c in SCHEME.prune_size_on_root_path(cfg, tree, t):
+                    cfg = c
+            for c in SCHEME.prune_distance_below(cfg, tree, v):
+                cfg = c
+            res = SCHEME.verify(net, cfg)
+            assert res.accepted, (v, w_prime, res.rejecting_nodes)
+            checked += 1
+        assert checked >= 3
+
+
+class TestSoundness:
+    def test_cycle_all_intact_rejected(self):
+        net = ring(6, scramble_ids=False)
+        nodes = list(net.nodes)
+        labels = {}
+        for i, v in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            labels[v] = MalleableLabel(rid=1, par=nxt, d=i, s=3)
+        assert not SCHEME.verify(net, labels)
+
+    def test_cycle_distance_pruned_rejected_by_size(self):
+        """Pruning distances around the cycle leaves the size check, which
+        cannot hold around a cycle."""
+        net = ring(6, scramble_ids=False)
+        nodes = list(net.nodes)
+        labels = {}
+        for i, v in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            labels[v] = MalleableLabel(rid=1, par=nxt, d=None, s=4)
+        assert not SCHEME.verify(net, labels)
+
+    def test_cycle_size_pruned_rejected_by_distance(self):
+        net = ring(6, scramble_ids=False)
+        nodes = list(net.nodes)
+        labels = {}
+        for i, v in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            labels[v] = MalleableLabel(rid=1, par=nxt, d=i % 4, s=None)
+        assert not SCHEME.verify(net, labels)
+
+    def test_mixed_pruning_on_cycle_rejected(self):
+        """A (d,_) node whose cycle-parent keeps its size entry violates the
+        case table directly (row 2 forbids parents (d',s') and (_,s'))."""
+        net = ring(4, scramble_ids=False)
+        labels = {
+            1: MalleableLabel(rid=1, par=2, d=1, s=None),
+            2: MalleableLabel(rid=1, par=3, d=2, s=4),
+            3: MalleableLabel(rid=1, par=4, d=None, s=3),
+            4: MalleableLabel(rid=1, par=1, d=0, s=2),
+        }
+        assert not SCHEME.verify(net, labels)
+
+    def test_both_entries_pruned_rejected(self):
+        net = path_graph(3, scramble_ids=False)
+        tree = bfs_tree(net, root=1)
+        labels = SCHEME.prove(net, tree)
+        bad = dict(labels)
+        bad[2] = replace(bad[2], d=None, s=None)
+        assert not SCHEME.verify(net, bad)
+
+    def test_impostor_root_rejected(self):
+        net = path_graph(4, scramble_ids=False)
+        labels = {
+            1: MalleableLabel(rid=1, par=None, d=0, s=2),
+            2: MalleableLabel(rid=1, par=1, d=1, s=1),
+            3: MalleableLabel(rid=1, par=None, d=0, s=2),
+            4: MalleableLabel(rid=1, par=3, d=1, s=1),
+        }
+        res = SCHEME.verify(net, labels)
+        assert not res.accepted
+        assert 3 in res.rejecting_nodes
+
+    def test_non_root_owner_of_root_id_rejected(self):
+        net = path_graph(3, scramble_ids=False)
+        tree = bfs_tree(net, root=2)
+        labels = SCHEME.prove(net, tree)
+        assert SCHEME.verify(net, labels).accepted
+        # node 1 claims root id 1 while pointing at a parent
+        bad = {v: replace(lab, rid=1) for v, lab in labels.items()}
+        assert not SCHEME.verify(net, bad)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_corruptions_of_non_trees_rejected(self, seed):
+        """Random parent maps that are NOT spanning trees, with random
+        (possibly pruned) label entries, are always rejected somewhere."""
+        rng = random.Random(seed)
+        net = random_connected_graph(9, seed=seed % 50)
+        nodes = list(net.nodes)
+        labels = {}
+        rid = rng.choice(nodes)
+        for v in nodes:
+            par = rng.choice([None] + list(net.neighbors(v)))
+            d = rng.choice([None] + list(range(net.n_bound)))
+            s = rng.choice([None] + list(range(1, net.n_bound + 1)))
+            if d is None and s is None:
+                d = rng.randrange(net.n_bound)
+            labels[v] = MalleableLabel(rid=rid, par=par, d=d, s=s)
+        parent = parent_map_of(labels)
+        try:
+            RootedTree(net, parent)
+            is_tree = True
+        except ValueError:
+            is_tree = False
+        if not is_tree:
+            assert not SCHEME.verify(net, labels).accepted
+
+
+class TestSwitchTraces:
+    """Fig. 1: the three-phase local switch and the full chain."""
+
+    def _assert_trace_clean(self, net, trace):
+        seen_parent_maps = set()
+        for cfg in trace.configs:
+            res = SCHEME.verify(net, cfg)
+            assert res.accepted, res.rejecting_nodes
+            pm = tuple(sorted(parent_map_of(cfg).items(),
+                              key=lambda kv: kv[0]))
+            if pm not in seen_parent_maps:
+                seen_parent_maps.add(pm)
+                # loop-freeness: every distinct parent map is a spanning tree
+                RootedTree(net, dict(pm))
+
+    def test_local_switch_trace_accepted_throughout(self):
+        net = random_connected_graph(14, seed=12)
+        tree = random_spanning_tree(net, seed=13)
+        labels = SCHEME.prove(net, tree)
+        moved = 0
+        for v in net.nodes:
+            if tree.parent(v) is None:
+                continue
+            sub = tree.subtree_nodes(v)
+            for w2 in net.neighbors(v):
+                if w2 == tree.parent(v) or w2 in sub:
+                    continue
+                trace = SCHEME.local_switch_trace(net, tree, labels, v, w2)
+                self._assert_trace_clean(net, trace)
+                assert trace.tree_after.parent(v) == w2
+                moved += 1
+                break
+        assert moved >= 3  # the instance offers several legal local switches
+
+    def test_local_switch_rejects_descendant_target(self):
+        net = random_connected_graph(10, seed=14)
+        tree = random_spanning_tree(net, seed=15)
+        labels = SCHEME.prove(net, tree)
+        for v in net.nodes:
+            if tree.parent(v) is None:
+                continue
+            sub = tree.subtree_nodes(v)
+            inside = [u for u in net.neighbors(v) if u in sub and u != v]
+            if inside:
+                with pytest.raises(ValueError, match="subtree"):
+                    SCHEME.local_switch_trace(net, tree, labels, v, inside[0])
+                return
+        pytest.skip("instance offers no descendant neighbor")
+
+    def test_full_switch_realizes_swap(self):
+        net = theta_graph([3, 4, 5], seed=16)
+        tree = bfs_tree(net)
+        for e in tree.non_tree_edges():
+            for f in tree.fundamental_cycle_edges(e):
+                trace = SCHEME.full_switch_trace(net, tree, e, f)
+                self._assert_trace_clean(net, trace)
+                assert UWEdge(*e) in trace.tree_after.edges()
+                assert UWEdge(*f) not in trace.tree_after.edges()
+
+    def test_full_switch_on_random_graphs(self):
+        for seed in range(4):
+            net = random_connected_graph(12, seed=17 + seed)
+            tree = random_spanning_tree(net, seed=18 + seed)
+            e = tree.non_tree_edges()[0]
+            f = tree.fundamental_cycle_edges(e)[-1]
+            trace = SCHEME.full_switch_trace(net, tree, e, f)
+            self._assert_trace_clean(net, trace)
+            assert trace.tree_after.edges() == (tree.edges() | {UWEdge(*e)}) - {UWEdge(*f)}
+
+    def test_trace_length_linear_in_n(self):
+        """One local switch touches O(n) labels: the trace has O(n) steps."""
+        for n in (8, 16, 24):
+            net = path_graph(n, seed=19)
+            # add one chord so a swap exists: path nets have none
+            nodes = list(net.nodes)
+            from repro.graphs import Network
+            edges = list(net.edges) + [(nodes[0], nodes[-1])]
+            net2 = Network(nodes, edges)
+            tree = bfs_tree(net2, root=nodes[0])
+            e = tree.non_tree_edges()[0]
+            f = tree.fundamental_cycle_edges(e)[0]
+            trace = SCHEME.full_switch_trace(net2, tree, e, f)
+            assert len(trace) <= 12 * n
+
+    def test_final_labels_are_full_redundant_labeling(self):
+        net = random_connected_graph(12, seed=20)
+        tree = random_spanning_tree(net, seed=21)
+        e = tree.non_tree_edges()[0]
+        f = tree.fundamental_cycle_edges(e)[0]
+        trace = SCHEME.full_switch_trace(net, tree, e, f)
+        assert trace.configs[-1] == SCHEME.prove(net, trace.tree_after)
+
+    def test_label_bits_logarithmic(self):
+        import math
+        for n in (8, 32, 128):
+            net = path_graph(n, seed=22)
+            tree = bfs_tree(net)
+            labels = SCHEME.prove(net, tree)
+            bits = SCHEME.max_label_bits(net, labels)
+            assert bits <= 4 * math.ceil(math.log2(net.id_space)) + 4

@@ -1,0 +1,273 @@
+"""Tests for the NCA labeling (Section V, ref [6]), its PLS (Lemma 5.1),
+and the fundamental-cycle membership predicate."""
+
+import math
+
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings, strategies as st
+
+from repro.core import bfs_tree, dfs_tree, random_spanning_tree
+from repro.core.cycles import on_chain_segment, on_fundamental_cycle
+from repro.graphs import (
+    caterpillar_graph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree_graph,
+    ring,
+    star_graph,
+    theta_graph,
+)
+from repro.labeling.nca import (
+    NCALabel,
+    NCALabeling,
+    label_is_ancestor,
+    nca_of_labels,
+)
+from repro.labeling.nca_pls import NCAPLS
+
+TREES = [
+    ("path", path_graph(17, seed=1)),
+    ("star", star_graph(15, seed=2)),
+    ("caterpillar", caterpillar_graph(6, 2, seed=3)),
+    ("random-tree", random_tree_graph(25, seed=4)),
+]
+
+GRAPHS = [
+    ("ring", ring(10, seed=5)),
+    ("grid", grid_graph(4, 4, seed=6)),
+    ("theta", theta_graph([3, 4, 5], seed=7)),
+    ("random", random_connected_graph(20, seed=8)),
+    ("complete", complete_graph(8, seed=9)),
+]
+
+
+class TestNCALabelStructure:
+    @pytest.mark.parametrize("name,net", TREES, ids=[t[0] for t in TREES])
+    def test_segment_count_logarithmic(self, name, net):
+        tree = bfs_tree(net)
+        scheme = NCALabeling(net, tree)
+        bound = math.floor(math.log2(net.n)) + 1
+        for v in net.nodes:
+            assert len(scheme.labels[v].segments) <= bound
+
+    def test_root_label(self):
+        net = random_tree_graph(10, seed=10)
+        tree = bfs_tree(net)
+        scheme = NCALabeling(net, tree)
+        assert scheme.labels[tree.root] == NCALabel(((tree.root, 0),))
+
+    def test_heavy_child_is_largest(self):
+        net = random_connected_graph(18, seed=11)
+        tree = random_spanning_tree(net, seed=12)
+        scheme = NCALabeling(net, tree)
+        sizes = tree.subtree_sizes()
+        for v in net.nodes:
+            kids = tree.children(v)
+            if kids:
+                assert sizes[scheme.heavy[v]] == max(sizes[c] for c in kids)
+
+    def test_node_of_inverts_labels(self):
+        net = random_connected_graph(16, seed=13)
+        tree = random_spanning_tree(net, seed=14)
+        scheme = NCALabeling(net, tree)
+        for v in net.nodes:
+            assert scheme.node_of(scheme.labels[v]) == v
+
+    def test_labels_distinct(self):
+        net = random_tree_graph(30, seed=15)
+        tree = bfs_tree(net)
+        scheme = NCALabeling(net, tree)
+        assert len(set(scheme.labels.values())) == net.n
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            NCALabel(())
+
+
+class TestNCAComputation:
+    @pytest.mark.parametrize("name,net", GRAPHS, ids=[g[0] for g in GRAPHS])
+    def test_nca_matches_oracle_all_pairs(self, name, net):
+        for seed in (0, 1):
+            tree = random_spanning_tree(net, seed=seed)
+            scheme = NCALabeling(net, tree)
+            for u in net.nodes:
+                for v in net.nodes:
+                    assert scheme.nca(u, v) == tree.nca(u, v), (u, v)
+
+    def test_ancestor_predicate(self):
+        net = random_connected_graph(15, seed=16)
+        tree = random_spanning_tree(net, seed=17)
+        scheme = NCALabeling(net, tree)
+        for a in net.nodes:
+            for d in net.nodes:
+                expected = tree.is_ancestor(a, d)
+                got = label_is_ancestor(scheme.labels[a], scheme.labels[d])
+                assert got == expected, (a, d)
+
+    def test_nca_is_pure_label_function(self):
+        """nca_of_labels uses only the two labels (no tree access)."""
+        net = random_tree_graph(12, seed=18)
+        tree = bfs_tree(net)
+        scheme = NCALabeling(net, tree)
+        nodes = list(net.nodes)
+        u, v = nodes[2], nodes[-2]
+        lab = nca_of_labels(scheme.labels[u], scheme.labels[v])
+        assert scheme.node_of(lab) == tree.nca(u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_nca_property_random_trees(self, seed):
+        net = random_tree_graph(14, seed=seed % 200)
+        tree = bfs_tree(net)
+        scheme = NCALabeling(net, tree)
+        nodes = list(net.nodes)
+        u = nodes[seed % len(nodes)]
+        v = nodes[(seed * 7 + 3) % len(nodes)]
+        assert scheme.nca(u, v) == tree.nca(u, v)
+
+
+class TestEncodedSize:
+    def test_encoded_bits_logarithmic_across_shapes(self):
+        """The headline measurement of ref [6]: O(log n)-bit labels on every
+        tree shape, including the adversarial ones (paths, caterpillars)."""
+        for maker in (
+            lambda n, s: path_graph(n, seed=s),
+            lambda n, s: star_graph(n, seed=s),
+            lambda n, s: random_tree_graph(n, seed=s),
+            lambda n, s: caterpillar_graph(n // 3, 2, seed=s),
+        ):
+            for n in (16, 64, 256):
+                net = maker(n, 1)
+                tree = bfs_tree(net)
+                scheme = NCALabeling(net, tree)
+                max_bits = scheme.max_encoded_bits()
+                assert max_bits <= 8 * math.log2(net.n) + 16, (n, max_bits)
+
+    def test_encoded_bits_grow_slowly(self):
+        sizes = []
+        for n in (32, 128, 512):
+            net = random_tree_graph(n, seed=2)
+            scheme = NCALabeling(net, bfs_tree(net))
+            sizes.append(scheme.max_encoded_bits())
+        # doubling n twice should add O(1) + O(log) bits, not multiply them
+        assert sizes[2] <= sizes[0] + 40
+
+    def test_encoded_labels_nonempty(self):
+        net = random_tree_graph(9, seed=3)
+        scheme = NCALabeling(net, bfs_tree(net))
+        assert all(scheme.encoded_bits(v) >= 1 for v in net.nodes)
+
+
+class TestNCAPLS:
+    """Lemma 5.1: the PLS for the NCA labeling."""
+
+    def test_prover_accepted(self):
+        for name, net in GRAPHS:
+            tree = random_spanning_tree(net, seed=19)
+            pls = NCAPLS()
+            labels = pls.prove(net, tree)
+            res = pls.verify(net, labels)
+            assert res.accepted, (name, res.rejecting_nodes)
+
+    def test_wrong_lambda_rejected(self):
+        net = random_connected_graph(14, seed=20)
+        tree = random_spanning_tree(net, seed=21)
+        pls = NCAPLS()
+        labels = pls.prove(net, tree)
+        victim = [v for v in net.nodes if v != tree.root][0]
+        bad = dict(labels)
+        lam = bad[victim].lam
+        forged = NCALabel(lam.segments[:-1] + ((lam.final_apex,
+                                                lam.final_depth + 1),))
+        bad[victim] = replace(bad[victim], lam=forged)
+        assert not pls.verify(net, bad)
+
+    def test_wrong_heavy_child_rejected(self):
+        net = star_graph(8, seed=22)
+        tree = bfs_tree(net)
+        pls = NCAPLS()
+        labels = pls.prove(net, tree)
+        hub = max(net.nodes, key=lambda v: len(tree.children(v)))
+        kids = tree.children(hub)
+        assert len(kids) >= 2
+        wrong = [c for c in kids if c != labels[hub].hv][0]
+        bad = dict(labels)
+        bad[hub] = replace(bad[hub], hv=wrong)
+        assert not pls.verify(net, bad)
+
+    def test_wrong_size_rejected(self):
+        net = random_connected_graph(12, seed=23)
+        tree = random_spanning_tree(net, seed=24)
+        pls = NCAPLS()
+        labels = pls.prove(net, tree)
+        v = list(net.nodes)[5]
+        bad = dict(labels)
+        bad[v] = replace(bad[v], s=bad[v].s + 1)
+        assert not pls.verify(net, bad)
+
+    def test_consistently_shifted_labels_rejected(self):
+        """Even a *globally consistent* forgery (everyone shifts the root
+        apex) is caught: the root's base case anchors the derivation."""
+        net = path_graph(6, seed=25)
+        tree = bfs_tree(net)
+        pls = NCAPLS()
+        labels = pls.prove(net, tree)
+        fake_root_apex = max(net.nodes)
+
+        def shift(lam: NCALabel) -> NCALabel:
+            (a0, d0), *rest = lam.segments
+            return NCALabel(((fake_root_apex, d0), *rest))
+
+        bad = {v: replace(lab, lam=shift(lab.lam)) for v, lab in labels.items()}
+        assert not pls.verify(net, bad)
+
+    def test_certificate_bits_logarithmic(self):
+        pls = NCAPLS()
+        for n in (16, 64, 256):
+            net = random_tree_graph(n, seed=26)
+            tree = bfs_tree(net)
+            labels = pls.prove(net, tree)
+            bits = pls.max_label_bits(net, labels)
+            assert bits <= 14 * math.log2(net.id_space) + 40
+
+
+class TestCycleMembership:
+    """Section V: x in C decided from labels alone."""
+
+    @pytest.mark.parametrize("name,net", GRAPHS, ids=[g[0] for g in GRAPHS])
+    def test_predicate_matches_oracle(self, name, net):
+        tree = random_spanning_tree(net, seed=27)
+        scheme = NCALabeling(net, tree)
+        for e in tree.non_tree_edges():
+            u, v = e
+            cycle = set(tree.fundamental_cycle(e))
+            for x in net.nodes:
+                got = on_fundamental_cycle(
+                    scheme.labels[x], scheme.labels[u], scheme.labels[v])
+                assert got == (x in cycle), (e, x)
+
+    def test_chain_segment_predicate(self):
+        net = random_connected_graph(16, seed=28)
+        tree = random_spanning_tree(net, seed=29)
+        scheme = NCALabeling(net, tree)
+        for e in tree.non_tree_edges()[:4]:
+            for f in tree.fundamental_cycle_edges(e):
+                fx, fy = f
+                top = fx if tree.parent(fx) == fy else fy
+                detached = tree.subtree_nodes(top)
+                a = e[0] if e[0] in detached else e[1]
+                # the chain: path from a up to top
+                expected = set()
+                y = a
+                while y != top:
+                    expected.add(y)
+                    y = tree.parent(y)
+                expected.add(top)
+                for x in net.nodes:
+                    got = on_chain_segment(scheme.labels[x],
+                                           scheme.labels[a],
+                                           scheme.labels[top])
+                    assert got == (x in expected), (e, f, x)

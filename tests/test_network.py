@@ -1,0 +1,230 @@
+"""Unit tests for repro.graphs.network."""
+
+import random
+
+import pytest
+
+from repro.graphs import Network, UWEdge
+from repro.graphs import (
+    caterpillar_graph,
+    complete_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree_graph,
+    ring,
+    star_graph,
+    theta_graph,
+    wheel_graph,
+)
+
+
+class TestUWEdge:
+    def test_sorts_endpoints(self):
+        assert UWEdge(5, 2) == (2, 5)
+        assert UWEdge(2, 5) == (2, 5)
+
+    def test_idempotent(self):
+        assert UWEdge(*UWEdge(9, 1)) == (1, 9)
+
+
+class TestNetworkConstruction:
+    def test_basic_triangle(self):
+        net = Network([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+        assert net.n == 3
+        assert net.m == 3
+        assert net.neighbors(1) == (2, 3)
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Network([1, 1, 2], [(1, 2)])
+
+    def test_rejects_nonpositive_ids(self):
+        with pytest.raises(ValueError, match="positive"):
+            Network([0, 1], [(0, 1)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Network([1, 2], [(1, 1), (1, 2)])
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Network([1, 2], [(1, 3)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connected"):
+            Network([1, 2, 3, 4], [(1, 2), (3, 4)])
+
+    def test_parallel_edges_collapse(self):
+        net = Network([1, 2], [(1, 2), (2, 1)])
+        assert net.m == 1
+
+    def test_single_node(self):
+        net = Network([7], [])
+        assert net.n == 1
+        assert net.m == 0
+
+
+class TestWeights:
+    def test_distinct_weights_enforced(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Network([1, 2, 3], [(1, 2), (2, 3), (1, 3)],
+                    weights={(1, 2): 5, (2, 3): 5, (1, 3): 1})
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            Network([1, 2, 3], [(1, 2), (2, 3), (1, 3)],
+                    weights={(1, 2): 1, (2, 3): 2})
+
+    def test_weight_lookup_symmetric(self):
+        net = Network([1, 2], [(1, 2)], weights={(1, 2): 9})
+        assert net.weight(1, 2) == 9
+        assert net.weight(2, 1) == 9
+
+    def test_unweighted_raises(self):
+        net = Network([1, 2], [(1, 2)])
+        with pytest.raises(ValueError, match="unweighted"):
+            net.weight(1, 2)
+
+    def test_with_distinct_weights_helper(self):
+        rng = random.Random(3)
+        net = Network.with_distinct_weights(
+            [1, 2, 3], [(1, 2), (2, 3), (1, 3)], rng=rng)
+        ws = sorted(net.weights.values())
+        assert ws == [1, 2, 3]
+
+    def test_reweighted_keeps_topology(self):
+        net = Network([1, 2, 3], [(1, 2), (2, 3)],
+                      weights={(1, 2): 1, (2, 3): 2})
+        net2 = net.reweighted({(1, 2): 10, (2, 3): 20})
+        assert net2.edges == net.edges
+        assert net2.weight(1, 2) == 10
+
+
+class TestGraphQueries:
+    def test_bfs_distances_on_path(self):
+        net = path_graph(5, scramble_ids=False)
+        d = net.bfs_distances(1)
+        assert d == {1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+
+    def test_diameter_ring(self):
+        net = ring(6, scramble_ids=False)
+        assert net.diameter() == 3
+
+    def test_is_connected_subset(self):
+        net = path_graph(5, scramble_ids=False)
+        assert net.is_connected_subset({1, 2, 3})
+        assert not net.is_connected_subset({1, 3})
+        assert net.is_connected_subset(set())
+
+    def test_non_edges(self):
+        net = path_graph(3, scramble_ids=False)
+        assert list(net.non_edges()) == [(1, 3)]
+
+    def test_id_bits_positive(self):
+        net = path_graph(4, scramble_ids=False)
+        assert net.id_bits() >= 4  # id space = n^2 = 16
+
+    def test_n_bound_default_and_override(self):
+        net = path_graph(4, scramble_ids=False)
+        assert net.n_bound == 4
+        net2 = Network([1, 2], [(1, 2)], n_bound=10)
+        assert net2.n_bound == 10
+        with pytest.raises(ValueError, match="n_bound"):
+            Network([1, 2], [(1, 2)], n_bound=1)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("maker,n", [
+        (lambda: ring(8, seed=1), 8),
+        (lambda: path_graph(9, seed=1), 9),
+        (lambda: complete_graph(6, seed=1), 6),
+        (lambda: star_graph(7, seed=1), 7),
+        (lambda: wheel_graph(8, seed=1), 8),
+        (lambda: grid_graph(3, 4, seed=1), 12),
+        (lambda: random_tree_graph(11, seed=1), 11),
+        (lambda: random_connected_graph(13, seed=1), 13),
+        (lambda: lollipop_graph(4, 3, seed=1), 7),
+        (lambda: caterpillar_graph(4, 2, seed=1), 12),
+        (lambda: hypercube_graph(3, seed=1), 8),
+        (lambda: theta_graph([2, 3, 4], seed=1), 8),  # 2 hubs + 1+2+3 internals
+    ])
+    def test_sizes(self, maker, n):
+        net = maker()
+        assert net.n == n
+
+    def test_ring_degrees(self):
+        net = ring(10, seed=2)
+        assert all(net.degree(v) == 2 for v in net.nodes)
+
+    def test_complete_degrees(self):
+        net = complete_graph(5, seed=2)
+        assert all(net.degree(v) == 4 for v in net.nodes)
+
+    def test_tree_edge_count(self):
+        net = random_tree_graph(20, seed=5)
+        assert net.m == 19
+
+    def test_random_graph_has_extra_edges(self):
+        net = random_connected_graph(20, extra_edges=10, seed=5)
+        assert net.m == 29
+
+    def test_seeded_reproducibility(self):
+        a = random_connected_graph(15, seed=42, weighted=True)
+        b = random_connected_graph(15, seed=42, weighted=True)
+        assert a.nodes == b.nodes
+        assert a.edges == b.edges
+        assert a.weights == b.weights
+
+    def test_different_seeds_differ(self):
+        a = random_connected_graph(15, seed=1)
+        b = random_connected_graph(15, seed=2)
+        assert a.nodes != b.nodes or a.edges != b.edges
+
+    def test_scrambled_ids_not_consecutive(self):
+        net = ring(12, seed=3, scramble_ids=True)
+        assert set(net.nodes) != set(range(1, 13))
+
+    def test_unscrambled_ids_consecutive(self):
+        net = ring(12, seed=3, scramble_ids=False)
+        assert set(net.nodes) == set(range(1, 13))
+
+    def test_weighted_generators_have_distinct_weights(self):
+        net = random_connected_graph(10, seed=7, weighted=True)
+        ws = list(net.weights.values())
+        assert len(set(ws)) == len(ws)
+
+    def test_grid_structure(self):
+        net = grid_graph(3, 3, scramble_ids=False)
+        # corner has degree 2, center degree 4
+        degs = sorted(net.degree(v) for v in net.nodes)
+        assert degs == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_hypercube_degrees(self):
+        net = hypercube_graph(4, seed=0)
+        assert all(net.degree(v) == 4 for v in net.nodes)
+
+    def test_theta_graph_hub_degrees(self):
+        net = theta_graph([2, 2, 2], scramble_ids=False)
+        hubs = [v for v in net.nodes if net.degree(v) == 3]
+        assert len(hubs) == 2
+
+    def test_caterpillar_spine(self):
+        net = caterpillar_graph(5, 3, scramble_ids=False)
+        assert net.n == 20
+        assert net.m == 19  # a tree
+
+    def test_lollipop_tail(self):
+        net = lollipop_graph(5, 4, scramble_ids=False)
+        # tail end is degree 1
+        assert min(net.degree(v) for v in net.nodes) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ring(2)
+        with pytest.raises(ValueError):
+            star_graph(1)
+        with pytest.raises(ValueError):
+            theta_graph([1, 1])

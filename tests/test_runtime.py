@@ -1,0 +1,337 @@
+"""Tests for the state-model runtime: registers, simulator, schedulers, faults.
+
+Uses two tiny self-stabilizing toy protocols:
+
+* MaxIdFlood — every node converges to the maximum identity in the network
+  (a classic silent protocol: enabled iff own value != max of (own id,
+  neighbor values)).
+* ModuloClock — a non-silent unison-like counter (never silent), used to
+  check that the engine does not mistake perpetual motion for convergence.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs import path_graph, random_connected_graph, ring, star_graph
+from repro.runtime import (
+    ALL_SCHEDULER_FACTORIES,
+    ComposedProtocol,
+    CentralRandomScheduler,
+    CentralRoundRobinScheduler,
+    DistributedRandomScheduler,
+    NodeView,
+    Protocol,
+    RegisterSpec,
+    Simulator,
+    StarvingScheduler,
+    SynchronousScheduler,
+    corrupt_random_nodes,
+    counter_field,
+    id_field,
+    max_register_bits,
+    node_register_bits,
+    random_configuration,
+)
+
+
+class MaxIdFlood(Protocol):
+    """Silent SS computation of the network-wide maximum identity.
+
+    Naive max-flooding is NOT self-stabilizing: a corrupted value above the
+    true maximum would be supported forever.  As in the paper's spanning
+    tree layer, every claim carries a hop counter bounded by N = n_bound;
+    ghost claims have no source, so their minimal hop count rises every
+    round until they exceed N and are flushed.
+    """
+
+    name = "max-id-flood"
+
+    def register_spec(self, net):
+        return RegisterSpec([
+            id_field("maxid"),
+            counter_field("hops", lambda n: n.n_bound),
+        ])
+
+    def step(self, view: NodeView):
+        candidates = [(view.id, 0)]
+        for u in view.neighbors:
+            st = view.nbr(u)
+            if st["hops"] + 1 <= view.n_bound:
+                candidates.append((st["maxid"], st["hops"] + 1))
+        # max id, then fewest hops
+        best_id = max(c[0] for c in candidates)
+        best_hops = min(h for (m, h) in candidates if m == best_id)
+        if (view["maxid"], view["hops"]) != (best_id, best_hops):
+            return {"maxid": best_id, "hops": best_hops}
+        return None
+
+    def is_legal(self, net, config):
+        target = max(net.nodes)
+        return all(config[v]["maxid"] == target for v in net.nodes)
+
+
+class ModuloClock(Protocol):
+    """A never-silent counter: every node is always enabled."""
+
+    name = "modulo-clock"
+
+    def register_spec(self, net):
+        return RegisterSpec([counter_field("tick", lambda n: 7)])
+
+    def step(self, view: NodeView):
+        return {"tick": (view["tick"] + 1) % 8}
+
+
+class TestRegisters:
+    def test_default_state(self):
+        net = path_graph(3, scramble_ids=False)
+        spec = MaxIdFlood().register_spec(net)
+        assert spec.default_state(net, 2) == {"maxid": 2, "hops": 0}
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RegisterSpec([id_field("x"), id_field("x")])
+
+    def test_state_bits_id_field(self):
+        net = path_graph(4, scramble_ids=False)  # id_space = 16 -> 4 bits
+        spec = MaxIdFlood().register_spec(net)
+        # hops in {0..4} -> 3 bits; total 7
+        assert spec.state_bits(net, {"maxid": 3, "hops": 1}) == 7
+
+    def test_corrupt_state_in_domain(self):
+        net = path_graph(4, scramble_ids=False)
+        spec = MaxIdFlood().register_spec(net)
+        rng = random.Random(0)
+        for _ in range(50):
+            s = spec.corrupt_state(net, 1, rng)
+            assert 1 <= s["maxid"] <= net.id_space
+
+    def test_merged_specs(self):
+        a = RegisterSpec([id_field("x")])
+        b = RegisterSpec([id_field("y")])
+        assert a.merged(b).names == ("x", "y")
+
+
+class TestSimulatorBasics:
+    def test_converges_to_max_id(self):
+        net = random_connected_graph(12, seed=1)
+        sim = Simulator(net, MaxIdFlood())
+        result = sim.run(max_rounds=50)
+        assert result.silent
+        assert MaxIdFlood().is_legal(net, sim.config)
+
+    def test_converges_from_arbitrary_configuration(self):
+        net = random_connected_graph(12, seed=2)
+        proto = MaxIdFlood()
+        for seed in range(5):
+            cfg = random_configuration(net, proto, seed=seed)
+            sim = Simulator(net, proto, config=cfg)
+            result = sim.run(max_rounds=60)
+            assert result.silent
+            assert proto.is_legal(net, sim.config)
+
+    def test_round_count_on_path_is_distance(self):
+        """Information travels one hop per round under the synchronous daemon:
+        a path with the max id at one end needs ~n-1 rounds."""
+        net = path_graph(10, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood(), SynchronousScheduler())
+        result = sim.run(max_rounds=30)
+        assert result.silent
+        assert result.rounds == 9  # distance from node 10 to node 1
+
+    def test_already_silent_run_is_zero_rounds(self):
+        net = path_graph(4, scramble_ids=False)
+        proto = MaxIdFlood()
+        cfg = {v: {"maxid": 4, "hops": 4 - v} for v in net.nodes}
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=5)
+        assert result.rounds == 0
+        assert result.moves == 0
+        assert result.silent
+
+    def test_confirm_silent(self):
+        net = ring(6, seed=3)
+        sim = Simulator(net, MaxIdFlood())
+        sim.run(max_rounds=30)
+        assert sim.confirm_silent()
+
+    def test_non_silent_protocol_raises_on_budget(self):
+        net = ring(5, seed=4)
+        sim = Simulator(net, ModuloClock())
+        with pytest.raises(RuntimeError, match="no convergence"):
+            sim.run(max_rounds=10)
+
+    def test_stop_when_predicate(self):
+        net = ring(5, seed=5)
+        sim = Simulator(net, ModuloClock())
+        target = lambda n, cfg: all(cfg[v]["tick"] >= 3 for v in n.nodes)
+        result = sim.run(max_rounds=100, stop_when=target)
+        assert result.stopped_by_predicate
+        assert not result.silent
+
+    def test_moves_counted(self):
+        net = path_graph(6, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood(), CentralRandomScheduler(seed=1))
+        result = sim.run(max_rounds=100)
+        assert result.moves >= 5  # at least the nodes that had to change
+
+    def test_invariant_hook(self):
+        net = path_graph(5, scramble_ids=False)
+        bad_invariant = lambda n, cfg: False
+        sim = Simulator(net, MaxIdFlood(), invariant=bad_invariant)
+        result = sim.run(max_rounds=30)
+        assert result.invariant_violations > 0
+
+    def test_trace_recording(self):
+        net = path_graph(4, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood(), record_trace=True)
+        result = sim.run(max_rounds=10)
+        assert len(result.trace) >= 2
+        assert result.trace[0] != result.trace[-1]
+
+    def test_overwrite_reactivates(self):
+        net = path_graph(5, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood())
+        sim.run(max_rounds=20)
+        assert sim.is_silent()
+        sim.overwrite(1, {"maxid": 1})
+        assert not sim.is_silent()
+        result = sim.run(max_rounds=20)
+        assert result.silent
+
+    def test_rejects_malformed_config(self):
+        net = path_graph(3, scramble_ids=False)
+        with pytest.raises(ValueError, match="missing"):
+            Simulator(net, MaxIdFlood(), config={v: {} for v in net.nodes})
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("name", sorted(ALL_SCHEDULER_FACTORIES))
+    def test_all_schedulers_converge(self, name):
+        net = random_connected_graph(10, seed=6)
+        proto = MaxIdFlood()
+        cfg = random_configuration(net, proto, seed=7)
+        sched = ALL_SCHEDULER_FACTORIES[name](seed=8)
+        sim = Simulator(net, proto, sched, config=cfg)
+        result = sim.run(max_rounds=500)
+        assert result.silent, name
+        assert proto.is_legal(net, sim.config), name
+
+    def test_synchronous_selects_all(self):
+        assert SynchronousScheduler().select([1, 2, 3]) == [1, 2, 3]
+
+    def test_central_random_selects_one(self):
+        s = CentralRandomScheduler(seed=0)
+        for _ in range(20):
+            assert len(s.select([1, 2, 3])) == 1
+
+    def test_round_robin_rotates(self):
+        s = CentralRoundRobinScheduler()
+        picks = [s.select([1, 2, 3])[0] for _ in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_distributed_random_nonempty(self):
+        s = DistributedRandomScheduler(p=0.1, seed=0)
+        for _ in range(50):
+            chosen = s.select([1, 2, 3])
+            assert chosen
+            assert set(chosen) <= {1, 2, 3}
+
+    def test_starving_avoids_victims_when_possible(self):
+        s = StarvingScheduler(victims={1}, seed=0)
+        for _ in range(20):
+            assert s.select([1, 2, 3])[0] != 1
+        assert s.select([1]) == [1]  # must pick a victim if only victims enabled
+
+    def test_distributed_random_validates_p(self):
+        with pytest.raises(ValueError):
+            DistributedRandomScheduler(p=0.0)
+
+
+class TestComposition:
+    def test_layers_share_register(self):
+        net = star_graph(5, seed=9)
+
+        class Echo(Protocol):
+            """Copies the flood layer's result into its own field."""
+            name = "echo"
+
+            def register_spec(self, net):
+                return RegisterSpec([id_field("copy")])
+
+            def step(self, view):
+                if view["copy"] != view["maxid"]:
+                    return {"copy": view["maxid"]}
+                return None
+
+        composed = ComposedProtocol([MaxIdFlood(), Echo()])
+        sim = Simulator(net, composed)
+        result = sim.run(max_rounds=50)
+        assert result.silent
+        target = max(net.nodes)
+        assert all(sim.config[v]["copy"] == target for v in net.nodes)
+
+    def test_lower_layer_updates_visible_to_upper_same_step(self):
+        """In one atomic step, an upper layer sees the lower layer's pending
+        write at the same node (the register is written atomically)."""
+        net = path_graph(2, scramble_ids=False)
+
+        class Mirror(Protocol):
+            name = "mirror"
+
+            def register_spec(self, net):
+                return RegisterSpec([id_field("mirror")])
+
+            def step(self, view):
+                if view["mirror"] != view["maxid"]:
+                    return {"mirror": view["maxid"]}
+                return None
+
+        composed = ComposedProtocol([MaxIdFlood(), Mirror()])
+        sim = Simulator(net, composed, SynchronousScheduler())
+        sim.run(max_rounds=10)
+        # node 1 adopted maxid=2 and mirrored it within the same atomic step
+        assert sim.config[1] == {"maxid": 2, "hops": 1, "mirror": 2}
+
+    def test_field_collision_detected(self):
+        net = path_graph(2, scramble_ids=False)
+        with pytest.raises(ValueError, match="duplicate"):
+            ComposedProtocol([MaxIdFlood(), MaxIdFlood()]).register_spec(net)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedProtocol([])
+
+
+class TestFaultsAndMetrics:
+    def test_corrupt_random_nodes_then_restabilize(self):
+        net = random_connected_graph(10, seed=10)
+        proto = MaxIdFlood()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=50)
+        corrupted, victims = corrupt_random_nodes(
+            net, sim.spec, sim.config, k=3, seed=11)
+        assert len(victims) == 3
+        sim2 = Simulator(net, proto, config=corrupted)
+        result = sim2.run(max_rounds=50)
+        assert result.silent
+        assert proto.is_legal(net, sim2.config)
+
+    def test_corruption_does_not_mutate_original(self):
+        net = path_graph(5, scramble_ids=False)
+        proto = MaxIdFlood()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=20)
+        before = {v: dict(s) for v, s in sim.config.items()}
+        corrupt_random_nodes(net, sim.spec, sim.config, k=5, seed=0)
+        assert sim.config == before
+
+    def test_register_bits_measured(self):
+        net = path_graph(8, scramble_ids=False)  # id_space 64 -> 6 bits
+        proto = MaxIdFlood()
+        sim = Simulator(net, proto)
+        # hops in {0..8} -> 4 bits; total 10
+        bits = node_register_bits(net, sim.spec, sim.config)
+        assert all(b == 10 for b in bits.values())
+        assert max_register_bits(net, sim.spec, sim.config) == 10

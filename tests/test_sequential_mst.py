@@ -1,0 +1,268 @@
+"""Tests for Section VI at the sequential level: baselines, the Boruvka
+trace, the MST PLS, the potential, and Algorithm 2 as an instance of
+Algorithm 1."""
+
+import math
+
+import pytest
+from dataclasses import replace
+
+from repro.baselines import boruvka_mst, is_mst, kruskal_mst, prim_mst
+from repro.core import bfs_tree, random_spanning_tree, tree_from_edges
+from repro.core.local_search import pls_guided_construction
+from repro.core.mst import MSTPotential
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    random_connected_graph,
+    ring,
+    theta_graph,
+)
+from repro.labeling.mst_pls import (
+    MSTPLS,
+    boruvka_trace,
+    find_mst_violation,
+    phi_values,
+)
+
+WEIGHTED = [
+    ring(8, seed=1, weighted=True),
+    grid_graph(3, 4, seed=2, weighted=True),
+    complete_graph(6, seed=3, weighted=True),
+    theta_graph([3, 4, 5], seed=4, weighted=True),
+    random_connected_graph(16, seed=5, weighted=True),
+    random_connected_graph(20, extra_edges=30, seed=6, weighted=True),
+]
+
+IDS = [f"n{n.n}m{n.m}" for n in WEIGHTED]
+
+
+class TestSequentialBaselines:
+    @pytest.mark.parametrize("net", WEIGHTED, ids=IDS)
+    def test_three_algorithms_agree(self, net):
+        k = kruskal_mst(net)
+        assert prim_mst(net) == k
+        assert boruvka_mst(net) == k
+
+    @pytest.mark.parametrize("net", WEIGHTED, ids=IDS)
+    def test_mst_is_spanning_tree(self, net):
+        mst = kruskal_mst(net)
+        assert len(mst) == net.n - 1
+        tree_from_edges(net, mst, root=net.min_id)  # validates tree-ness
+
+    def test_mst_weight_minimal_vs_random_trees(self):
+        net = random_connected_graph(12, seed=7, weighted=True)
+        opt = net.total_weight(kruskal_mst(net))
+        for seed in range(8):
+            t = random_spanning_tree(net, seed=seed)
+            assert net.total_weight(t.edges()) >= opt
+
+    def test_is_mst_detects_non_mst(self):
+        net = complete_graph(6, seed=8, weighted=True)
+        mst = kruskal_mst(net)
+        t = bfs_tree(net)
+        assert is_mst(net, mst)
+        if t.edges() != mst:
+            assert not is_mst(net, t.edges())
+
+
+class TestBoruvkaTrace:
+    @pytest.mark.parametrize("net", WEIGHTED, ids=IDS)
+    def test_level_count_logarithmic(self, net):
+        tree = bfs_tree(net)
+        trace = boruvka_trace(net, tree)
+        k = len(trace[net.min_id])
+        assert k <= math.ceil(math.log2(net.n)) + 1
+        assert all(len(t) == k for t in trace.values())
+
+    def test_level1_singletons(self):
+        net = random_connected_graph(10, seed=9, weighted=True)
+        tree = bfs_tree(net)
+        trace = boruvka_trace(net, tree)
+        for v in net.nodes:
+            assert trace[v][0].fragment == v
+            assert trace[v][0].dist == 0
+
+    def test_top_level_single_fragment_no_out_edge(self):
+        net = random_connected_graph(10, seed=10, weighted=True)
+        tree = bfs_tree(net)
+        trace = boruvka_trace(net, tree)
+        tops = {trace[v][-1].fragment for v in net.nodes}
+        assert len(tops) == 1
+        assert all(trace[v][-1].out_edge is None for v in net.nodes)
+
+    def test_selected_edges_are_tree_edges(self):
+        net = random_connected_graph(12, seed=11, weighted=True)
+        tree = random_spanning_tree(net, seed=12)
+        trace = boruvka_trace(net, tree)
+        tedges = tree.edges()
+        for v in net.nodes:
+            for lv in trace[v]:
+                if lv.out_edge is not None:
+                    a, b, w = lv.out_edge
+                    assert (min(a, b), max(a, b)) in tedges
+                    assert net.weight(a, b) == w
+
+    def test_fragments_grow(self):
+        """Each level at least halves the number of fragments."""
+        net = random_connected_graph(16, seed=13, weighted=True)
+        tree = bfs_tree(net)
+        trace = boruvka_trace(net, tree)
+        k = len(trace[net.min_id])
+        prev = None
+        for i in range(k):
+            count = len({trace[v][i].fragment for v in net.nodes})
+            if prev is not None:
+                assert count <= math.ceil(prev / 2)
+            prev = count
+
+    def test_trace_of_mst_has_no_violation(self):
+        net = random_connected_graph(14, seed=14, weighted=True)
+        mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+        assert find_mst_violation(net, mst) is None
+
+    def test_non_mst_has_violation(self):
+        net = complete_graph(7, seed=15, weighted=True)
+        t = bfs_tree(net)
+        if not is_mst(net, t.edges()):
+            assert find_mst_violation(net, t) is not None
+
+
+class TestMSTPLS:
+    def test_mst_certificates_accepted(self):
+        pls = MSTPLS()
+        for net in WEIGHTED:
+            mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+            labels = pls.prove(net, mst)
+            res = pls.verify(net, labels)
+            assert res.accepted, res.rejecting_nodes
+
+    def test_non_mst_rejected_by_full_verifier(self):
+        pls = MSTPLS()
+        rejected = 0
+        for net in WEIGHTED:
+            for seed in range(4):
+                t = random_spanning_tree(net, seed=seed)
+                if is_mst(net, t.edges()):
+                    continue
+                labels = pls.prove(net, t)
+                assert not pls.verify(net, labels).accepted
+                rejected += 1
+        assert rejected >= 5
+
+    def test_trace_verifier_accepts_non_mst_traces(self):
+        """The trace-only verifier certifies the labels, not optimality."""
+        pls = MSTPLS()
+        net = random_connected_graph(14, seed=16, weighted=True)
+        t = random_spanning_tree(net, seed=17)
+        labels = pls.prove(net, t)
+        for v in net.nodes:
+            assert pls.verify_trace_at(net, v, labels), v
+
+    def test_forged_fragment_id_rejected(self):
+        pls = MSTPLS()
+        net = random_connected_graph(12, seed=18, weighted=True)
+        mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+        labels = pls.prove(net, mst)
+        v = [u for u in net.nodes if u != net.min_id][0]
+        lv = labels[v].levels
+        if len(lv) > 1:
+            ghost = replace(lv[1], fragment=0)  # nobody owns id 0
+            bad = dict(labels)
+            bad[v] = replace(bad[v], levels=lv[:1] + (ghost,) + lv[2:])
+            assert not pls.verify(net, bad)
+
+    def test_forged_out_edge_weight_rejected(self):
+        pls = MSTPLS()
+        net = random_connected_graph(12, seed=19, weighted=True)
+        mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+        labels = pls.prove(net, mst)
+        for v in net.nodes:
+            lv = labels[v].levels
+            oe = lv[0].out_edge
+            if oe is not None and oe[0] == v:
+                forged = replace(lv[0], out_edge=(oe[0], oe[1], oe[2] + 1))
+                bad = dict(labels)
+                bad[v] = replace(bad[v], levels=(forged,) + lv[1:])
+                assert not pls.verify(net, bad)
+                return
+        pytest.fail("no level-0 out-edge endpoint found")
+
+    def test_label_bits_log_squared(self):
+        pls = MSTPLS()
+        for n in (8, 16, 32):
+            net = random_connected_graph(n, seed=20, weighted=True)
+            mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+            labels = pls.prove(net, mst)
+            bits = pls.max_label_bits(net, labels)
+            logn = math.log2(net.id_space)
+            assert bits <= 6 * logn * logn  # O(log^2 n) with a small constant
+
+
+class TestMSTPotentialAndAlgorithm2:
+    def test_phi_zero_iff_mst(self):
+        pot = MSTPotential()
+        for net in WEIGHTED[:4]:
+            mst = tree_from_edges(net, kruskal_mst(net), root=net.min_id)
+            assert pot.value(net, mst) == 0
+            for seed in range(3):
+                t = random_spanning_tree(net, seed=seed)
+                assert (pot.value(net, t) == 0) == is_mst(net, t.edges())
+
+    @pytest.mark.parametrize("net", WEIGHTED, ids=IDS)
+    def test_algorithm2_reaches_the_mst(self, net):
+        pot = MSTPotential()
+        for seed in range(3):
+            start = random_spanning_tree(net, seed=seed)
+            run = pls_guided_construction(net, pot, initial_tree=start,
+                                          require_strict_decrease=False)
+            assert is_mst(net, run.tree.edges())
+            assert run.final_phi == 0
+
+    def test_mst_edge_count_strictly_increasing(self):
+        """The termination invariant (see the reproduction note in
+        repro.core.mst): every red-rule swap adds an MST edge and removes a
+        non-MST edge."""
+        net = random_connected_graph(14, seed=21, weighted=True)
+        mst = kruskal_mst(net)
+        pot = MSTPotential()
+        tree = random_spanning_tree(net, seed=22)
+        overlap = len(tree.edges() & mst)
+        while True:
+            pair = pot.find_improvement(net, tree)
+            if pair is None:
+                break
+            tree = tree.swap(*pair)
+            new_overlap = len(tree.edges() & mst)
+            assert new_overlap == overlap + 1
+            overlap = new_overlap
+
+    def test_swap_count_at_most_n_minus_1(self):
+        """Consequence of the invariant above: at most n - 1 swaps."""
+        for net in WEIGHTED:
+            pot = MSTPotential()
+            run = pls_guided_construction(net, pot,
+                                          initial_tree=random_spanning_tree(net, seed=0),
+                                          require_strict_decrease=False)
+            assert run.iterations <= net.n - 1
+
+    def test_phi_max_bound_holds(self):
+        net = random_connected_graph(12, seed=23, weighted=True)
+        pot = MSTPotential()
+        for seed in range(5):
+            t = random_spanning_tree(net, seed=seed)
+            assert 0 <= pot.value(net, t) <= pot.max_value(net)
+
+    def test_weight_strictly_decreasing(self):
+        net = complete_graph(8, seed=24, weighted=True)
+        pot = MSTPotential()
+        tree = random_spanning_tree(net, seed=25)
+        weights = [tree.total_weight()]
+        while True:
+            pair = pot.find_improvement(net, tree)
+            if pair is None:
+                break
+            tree = tree.swap(*pair)
+            weights.append(tree.total_weight())
+        for a, b in zip(weights, weights[1:]):
+            assert b < a

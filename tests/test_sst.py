@@ -1,0 +1,136 @@
+"""Self-stabilization tests for the spanning-tree/leader-election layer.
+
+The protocol must reach its unique legal silent configuration from *every*
+initial configuration, under *every* scheduler — including adversarially
+planted ghost roots (claims of identities smaller than every real one).
+"""
+
+import pytest
+
+from repro.core.sst import SpanningTreeProtocol
+from repro.graphs import (
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    star_graph,
+)
+from repro.runtime import (
+    ALL_SCHEDULER_FACTORIES,
+    NONE,
+    Simulator,
+    SynchronousScheduler,
+    corrupt_random_nodes,
+    max_register_bits,
+    random_configuration,
+)
+
+NETS = [
+    path_graph(9, seed=1),
+    ring(10, seed=2),
+    star_graph(9, seed=3),
+    grid_graph(3, 4, seed=4),
+    lollipop_graph(4, 5, seed=5),
+    random_connected_graph(14, seed=6),
+]
+
+IDS = [f"g{i}n{n.n}" for i, n in enumerate(NETS)]
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("net", NETS, ids=IDS)
+    def test_from_default_configuration(self, net):
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto)
+        result = sim.run(max_rounds=10 * net.n + 20)
+        assert result.silent
+        assert proto.is_legal(net, sim.config)
+
+    @pytest.mark.parametrize("net", NETS, ids=IDS)
+    def test_from_arbitrary_configurations(self, net):
+        proto = SpanningTreeProtocol()
+        for seed in range(6):
+            cfg = random_configuration(net, proto, seed=seed)
+            sim = Simulator(net, proto, config=cfg)
+            result = sim.run(max_rounds=20 * net.n + 50)
+            assert result.silent, seed
+            assert proto.is_legal(net, sim.config), seed
+
+    @pytest.mark.parametrize("name", sorted(ALL_SCHEDULER_FACTORIES))
+    def test_under_every_scheduler(self, name):
+        net = random_connected_graph(12, seed=7)
+        proto = SpanningTreeProtocol()
+        cfg = random_configuration(net, proto, seed=8)
+        sched = ALL_SCHEDULER_FACTORIES[name](seed=9)
+        sim = Simulator(net, proto, sched, config=cfg)
+        result = sim.run(max_rounds=3000)
+        assert result.silent, name
+        assert proto.is_legal(net, sim.config), name
+
+    def test_ghost_root_flushed(self):
+        """A planted claim smaller than every real identity must be flushed
+        through the distance bound."""
+        net = random_connected_graph(12, seed=10)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=10 * net.n)
+        ghost = 0  # smaller than every identity (ids are >= 1)
+        victims = list(net.nodes)[:4]
+        for i, v in enumerate(victims):
+            sim.overwrite(v, {"rid": ghost, "d": i, "par": NONE})
+        result = sim.run(max_rounds=20 * net.n + 50)
+        assert result.silent
+        assert proto.is_legal(net, sim.config)
+
+    def test_fault_recovery(self):
+        net = random_connected_graph(13, seed=11)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=10 * net.n)
+        for k in (1, 3, 6):
+            corrupted, _ = corrupt_random_nodes(net, sim.spec, sim.config,
+                                                k=k, seed=k)
+            sim2 = Simulator(net, proto, config=corrupted)
+            result = sim2.run(max_rounds=20 * net.n + 50)
+            assert result.silent
+            assert proto.is_legal(net, sim2.config)
+
+    def test_silence_certified(self):
+        net = ring(8, seed=12)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=10 * net.n)
+        assert sim.confirm_silent()
+
+
+class TestComplexity:
+    def test_rounds_linear_on_paths(self):
+        """Stabilization from defaults takes O(n) rounds (t_label = O(n))."""
+        rounds = []
+        for n in (8, 16, 32):
+            net = path_graph(n, seed=13)
+            sim = Simulator(net, SpanningTreeProtocol(), SynchronousScheduler())
+            result = sim.run(max_rounds=10 * n)
+            rounds.append(result.rounds)
+        assert rounds[2] <= 4 * rounds[1]
+        assert rounds[1] <= 4 * max(rounds[0], 1)
+
+    def test_register_bits_logarithmic(self):
+        import math
+        for n in (8, 16, 32, 64):
+            net = random_connected_graph(n, seed=14)
+            proto = SpanningTreeProtocol()
+            sim = Simulator(net, proto)
+            sim.run(max_rounds=10 * n + 50)
+            bits = max_register_bits(net, sim.spec, sim.config)
+            assert bits <= 4 * math.log2(net.id_space) + 6
+
+    def test_bfs_distances_in_stable_state(self):
+        net = lollipop_graph(5, 6, seed=15)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=20 * net.n)
+        dist = net.bfs_distances(net.min_id)
+        for v in net.nodes:
+            assert sim.config[v]["d"] == dist[v]

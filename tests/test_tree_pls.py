@@ -1,0 +1,146 @@
+"""Tests for the distance-based and size-based spanning-tree PLS."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core import bfs_tree, random_spanning_tree
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    star_graph,
+)
+from repro.labeling.tree_pls import DistanceLabel, DistancePLS, SizeLabel, SizePLS
+
+NETS = [
+    path_graph(6, seed=1),
+    ring(7, seed=2),
+    star_graph(8, seed=3),
+    grid_graph(3, 3, seed=4),
+    complete_graph(5, seed=5),
+    random_connected_graph(14, seed=6),
+]
+
+
+@pytest.mark.parametrize("scheme", [DistancePLS(), SizePLS()])
+class TestCompleteness:
+    """Correct labelings of real spanning trees are accepted everywhere."""
+
+    @pytest.mark.parametrize("net", NETS, ids=lambda n: f"n{n.n}m{n.m}")
+    def test_prover_labels_accepted(self, scheme, net):
+        for seed in (0, 1, 2):
+            tree = random_spanning_tree(net, seed=seed)
+            labels = scheme.prove(net, tree)
+            result = scheme.verify(net, labels)
+            assert result.accepted, result.rejecting_nodes
+
+
+class TestDistanceSoundness:
+    def setup_method(self):
+        self.scheme = DistancePLS()
+        self.net = random_connected_graph(12, seed=7)
+        self.tree = bfs_tree(self.net)
+        self.labels = self.scheme.prove(self.net, self.tree)
+
+    def test_wrong_distance_rejected(self):
+        v = [u for u in self.net.nodes if u != self.tree.root][0]
+        bad = dict(self.labels)
+        bad[v] = replace(bad[v], d=bad[v].d + 1)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_disagreeing_root_id_rejected(self):
+        v = list(self.net.nodes)[3]
+        bad = dict(self.labels)
+        bad[v] = replace(bad[v], rid=v)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_root_claims_nonzero_distance_rejected(self):
+        r = self.tree.root
+        bad = dict(self.labels)
+        bad[r] = replace(bad[r], d=1)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_cycle_rejected(self):
+        """Parent pointers forming a cycle cannot carry consistent distances."""
+        net = ring(6, scramble_ids=False)
+        nodes = list(net.nodes)
+        labels = {}
+        for i, v in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            labels[v] = DistanceLabel(rid=1, par=nxt, d=i)
+        assert not self.scheme.verify(net, labels)
+
+    def test_two_components_rejected(self):
+        """A forest claiming one root: the second bottom node rejects."""
+        net = path_graph(4, scramble_ids=False)
+        labels = {
+            1: DistanceLabel(rid=1, par=None, d=0),
+            2: DistanceLabel(rid=1, par=1, d=1),
+            3: DistanceLabel(rid=1, par=None, d=0),   # impostor root
+            4: DistanceLabel(rid=1, par=3, d=1),
+        }
+        res = self.scheme.verify(net, labels)
+        assert not res.accepted
+        assert 3 in res.rejecting_nodes
+
+    def test_distance_at_bound_rejected(self):
+        v = [u for u in self.net.nodes if u != self.tree.root][0]
+        bad = dict(self.labels)
+        bad[v] = replace(bad[v], d=self.net.n_bound)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_non_neighbor_parent_rejected(self):
+        net = path_graph(4, scramble_ids=False)
+        tree = bfs_tree(net, root=1)
+        labels = self.scheme.prove(net, tree)
+        bad = dict(labels)
+        bad[4] = replace(bad[4], par=1)  # 1 is not adjacent to 4
+        assert not self.scheme.verify(net, bad)
+
+    def test_label_bits_logarithmic(self):
+        for n in (8, 16, 32, 64):
+            net = path_graph(n, seed=1)
+            tree = bfs_tree(net)
+            labels = self.scheme.prove(net, tree)
+            bits = self.scheme.max_label_bits(net, labels)
+            # (rid, par, d): about 3 log n + O(1) bits
+            import math
+            assert bits <= 3 * math.ceil(math.log2(net.id_space)) + 3
+
+
+class TestSizeSoundness:
+    def setup_method(self):
+        self.scheme = SizePLS()
+        self.net = random_connected_graph(12, seed=8)
+        self.tree = bfs_tree(self.net)
+        self.labels = self.scheme.prove(self.net, self.tree)
+
+    def test_wrong_size_rejected(self):
+        v = list(self.net.nodes)[4]
+        bad = dict(self.labels)
+        bad[v] = replace(bad[v], s=bad[v].s + 1)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_cycle_rejected_by_size(self):
+        """Sizes must strictly increase along parent pointers on a cycle."""
+        net = ring(5, scramble_ids=False)
+        nodes = list(net.nodes)
+        labels = {}
+        for i, v in enumerate(nodes):
+            nxt = nodes[(i + 1) % len(nodes)]
+            labels[v] = SizeLabel(rid=1, par=nxt, s=3)
+        assert not self.scheme.verify(net, labels)
+
+    def test_size_above_bound_rejected(self):
+        bad = dict(self.labels)
+        r = self.tree.root
+        bad[r] = replace(bad[r], s=self.net.n_bound + 1)
+        assert not self.scheme.verify(self.net, bad)
+
+    def test_root_size_must_count_children(self):
+        bad = dict(self.labels)
+        r = self.tree.root
+        bad[r] = replace(bad[r], s=1)
+        assert not self.scheme.verify(self.net, bad)

@@ -1,0 +1,223 @@
+"""Unit + property tests for repro.core.trees (fundamental cycles, swaps)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    RootedTree,
+    bfs_tree,
+    dfs_tree,
+    random_spanning_tree,
+    tree_from_edges,
+)
+from repro.graphs import (
+    UWEdge,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    ring,
+    theta_graph,
+)
+
+
+class TestRootedTreeConstruction:
+    def test_bfs_tree_is_spanning(self):
+        net = random_connected_graph(15, seed=1)
+        t = bfs_tree(net)
+        assert len(t.edges()) == net.n - 1
+        assert t.root == net.min_id
+
+    def test_bfs_tree_depths_are_graph_distances(self):
+        net = random_connected_graph(20, seed=2)
+        t = bfs_tree(net)
+        dist = net.bfs_distances(t.root)
+        assert all(t.depth(v) == dist[v] for v in net.nodes)
+
+    def test_rejects_two_roots(self):
+        net = path_graph(3, scramble_ids=False)
+        with pytest.raises(ValueError, match="root"):
+            RootedTree(net, {1: None, 2: None, 3: 2})
+
+    def test_rejects_non_neighbor_parent(self):
+        net = path_graph(3, scramble_ids=False)
+        with pytest.raises(ValueError, match="neighbor"):
+            RootedTree(net, {1: None, 2: 1, 3: 1})
+
+    def test_rejects_cycle(self):
+        net = ring(4, scramble_ids=False)
+        with pytest.raises(ValueError, match="spanning"):
+            RootedTree(net, {1: None, 2: 3, 3: 4, 4: 3})
+
+    def test_tree_from_edges_roundtrip(self):
+        net = random_connected_graph(12, seed=3)
+        t = random_spanning_tree(net, seed=4)
+        t2 = tree_from_edges(net, t.edges(), root=t.root)
+        assert t2.same_edges(t)
+        assert t2.root == t.root
+
+    def test_tree_from_edges_wrong_count(self):
+        net = path_graph(4, scramble_ids=False)
+        with pytest.raises(ValueError, match="expected"):
+            tree_from_edges(net, [(1, 2)], root=1)
+
+    def test_dfs_tree_spans(self):
+        net = grid_graph(3, 4, seed=5)
+        t = dfs_tree(net)
+        assert len(t.edges()) == net.n - 1
+
+
+class TestTreeQueries:
+    def test_children_and_parent_consistent(self):
+        net = random_connected_graph(18, seed=7)
+        t = random_spanning_tree(net, seed=8)
+        for v in net.nodes:
+            for c in t.children(v):
+                assert t.parent(c) == v
+
+    def test_subtree_sizes_sum(self):
+        net = random_connected_graph(16, seed=9)
+        t = random_spanning_tree(net, seed=10)
+        sizes = t.subtree_sizes()
+        assert sizes[t.root] == net.n
+        for v in net.nodes:
+            assert sizes[v] == 1 + sum(sizes[c] for c in t.children(v))
+
+    def test_path_to_root(self):
+        net = path_graph(5, scramble_ids=False)
+        t = bfs_tree(net, root=1)
+        assert t.path_to_root(5) == [5, 4, 3, 2, 1]
+
+    def test_nca_on_path(self):
+        net = path_graph(7, scramble_ids=False)
+        t = bfs_tree(net, root=4)
+        assert t.nca(1, 7) == 4
+        assert t.nca(1, 2) == 2
+        assert t.nca(3, 3) == 3
+
+    def test_nca_matches_definition(self):
+        net = random_connected_graph(20, seed=11)
+        t = random_spanning_tree(net, seed=12)
+        for u in list(net.nodes)[:8]:
+            for v in list(net.nodes)[-8:]:
+                w = t.nca(u, v)
+                assert t.is_ancestor(w, u)
+                assert t.is_ancestor(w, v)
+                # deepest such node: no child of w is a common ancestor
+                for c in t.children(w):
+                    assert not (t.is_ancestor(c, u) and t.is_ancestor(c, v))
+
+    def test_tree_path_endpoints(self):
+        net = random_connected_graph(15, seed=13)
+        t = random_spanning_tree(net, seed=14)
+        nodes = list(net.nodes)
+        path = t.tree_path(nodes[0], nodes[-1])
+        assert path[0] == nodes[0]
+        assert path[-1] == nodes[-1]
+        # consecutive path nodes are tree edges
+        for a, b in zip(path, path[1:]):
+            assert t.has_edge(a, b)
+
+    def test_degree_counts_tree_edges_only(self):
+        net = complete_graph(6, seed=15)
+        t = random_spanning_tree(net, seed=16)
+        assert sum(t.degree(v) for v in net.nodes) == 2 * (net.n - 1)
+
+    def test_rerooted_preserves_edges(self):
+        net = random_connected_graph(14, seed=17)
+        t = random_spanning_tree(net, seed=18)
+        other = [v for v in net.nodes if v != t.root][0]
+        t2 = t.rerooted(other)
+        assert t2.root == other
+        assert t2.same_edges(t)
+
+
+class TestFundamentalCycles:
+    def test_cycle_on_ring(self):
+        net = ring(6, scramble_ids=False)
+        t = bfs_tree(net, root=1)
+        e = [x for x in net.edges if x not in t.edges()][0]
+        cyc = t.fundamental_cycle(e)
+        assert set(cyc) == set(net.nodes)  # on a ring, the cycle is everything
+
+    def test_cycle_closes_with_e(self):
+        net = random_connected_graph(15, seed=19)
+        t = random_spanning_tree(net, seed=20)
+        for e in t.non_tree_edges():
+            cyc = t.fundamental_cycle(e)
+            assert UWEdge(cyc[0], cyc[-1]) == e
+
+    def test_cycle_rejects_tree_edge(self):
+        net = ring(5, scramble_ids=False)
+        t = bfs_tree(net)
+        some_tree_edge = next(iter(t.edges()))
+        with pytest.raises(ValueError, match="tree edge"):
+            t.fundamental_cycle(some_tree_edge)
+
+    def test_cycle_rejects_non_edge(self):
+        net = path_graph(4, scramble_ids=False)
+        t = bfs_tree(net)
+        with pytest.raises(ValueError, match="not a graph edge"):
+            t.fundamental_cycle((1, 4))
+
+    def test_cycle_edges_are_tree_edges(self):
+        net = theta_graph([3, 4, 5], seed=21)
+        t = bfs_tree(net)
+        for e in t.non_tree_edges():
+            for f in t.fundamental_cycle_edges(e):
+                assert t.has_edge(*f)
+
+
+class TestSwap:
+    def test_swap_produces_spanning_tree(self):
+        net = random_connected_graph(15, seed=22)
+        t = random_spanning_tree(net, seed=23)
+        e = t.non_tree_edges()[0]
+        for f in t.fundamental_cycle_edges(e):
+            t2 = t.swap(e, f)
+            assert len(t2.edges()) == net.n - 1
+            assert t2.edges() == (t.edges() | {UWEdge(*e)}) - {UWEdge(*f)}
+
+    def test_swap_keeps_root(self):
+        net = random_connected_graph(15, seed=24)
+        t = random_spanning_tree(net, seed=25)
+        e = t.non_tree_edges()[0]
+        f = t.fundamental_cycle_edges(e)[0]
+        assert t.swap(e, f).root == t.root
+
+    def test_swap_rejects_f_off_cycle(self):
+        net = theta_graph([3, 3, 3], seed=26)
+        t = bfs_tree(net)
+        e = t.non_tree_edges()[0]
+        on_cycle = set(t.fundamental_cycle_edges(e))
+        off = [f for f in t.edges() if f not in on_cycle][0]
+        with pytest.raises(ValueError, match="fundamental cycle"):
+            t.swap(e, off)
+
+    def test_swap_is_reversible(self):
+        net = random_connected_graph(12, seed=27)
+        t = random_spanning_tree(net, seed=28)
+        e = t.non_tree_edges()[0]
+        f = t.fundamental_cycle_edges(e)[0]
+        t2 = t.swap(e, f)
+        t3 = t2.swap(f, e)  # f is now non-tree, e is on its cycle
+        assert t3.same_edges(t)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_swap_property_random(self, seed):
+        """Any (e, f-on-cycle) swap of any random tree yields a spanning tree
+        with the same root, and the detached subtree is reattached intact."""
+        net = random_connected_graph(10, seed=seed % 100, weighted=False)
+        t = random_spanning_tree(net, seed=seed)
+        ntes = t.non_tree_edges()
+        if not ntes:
+            return
+        e = ntes[seed % len(ntes)]
+        cyc_edges = t.fundamental_cycle_edges(e)
+        f = cyc_edges[seed % len(cyc_edges)]
+        t2 = t.swap(e, f)
+        assert t2.root == t.root
+        assert len(t2.edges()) == net.n - 1
+        assert UWEdge(*e) in t2.edges()
+        assert UWEdge(*f) not in t2.edges()
