@@ -54,43 +54,54 @@ class SpanningTreeProtocol(Protocol):
         ])
 
     def step(self, view: NodeView) -> dict | None:
-        me = view.id
+        me = view.node
+        bound = view.net.n_bound
+        own = view.state
+        nbr_states = view.nbr_states()
         # all reachable claims: my own candidacy plus every neighbor claim
         # strictly better than my identity, with room left in the distance
         # bound (claims at distance >= N cannot be extended)
         best_rid, best_d = me, 0
-        for u in view.neighbors:
-            st = view.nbr(u)
+        bound1 = bound - 1  # d_u + 1 < bound  <=>  d_u < bound - 1
+        for _, st in nbr_states:
             rid_u, d_u = st["rid"], st["d"]
-            if not isinstance(rid_u, int) or not isinstance(d_u, int):
-                continue
-            if rid_u < me and 0 <= d_u and d_u + 1 < view.n_bound:
-                if (rid_u, d_u + 1) < (best_rid, best_d):
+            # junk values are skipped: incomparable ones raise out of the
+            # range test, comparable non-ints (floats, ...) are rejected by
+            # the isinstance gate.  The gate runs only for candidates that
+            # would improve ``best`` — rejected candidates never mutate
+            # ``best`` either way, so the accepted set is exactly the seed
+            # engine's isinstance-filter-first semantics.
+            try:
+                if (rid_u < me and -1 < d_u < bound1
+                        and (rid_u < best_rid or (rid_u == best_rid
+                                                  and d_u + 1 < best_d))
+                        and isinstance(rid_u, int) and isinstance(d_u, int)):
                     best_rid, best_d = rid_u, d_u + 1
-        if self._current_is_stable(view, best_rid, best_d):
-            return None
+            except TypeError:
+                continue
+        # stability: the current claim is valid and as good as the best
+        # available candidate (any valid parent achieving it is acceptable —
+        # the rule does not churn between equivalent parents)
+        rid, d = own["rid"], own["d"]
+        if rid == best_rid and d == best_d:
+            par = own["par"]
+            if par is NONE:
+                if rid == me and d == 0:
+                    return None
+            else:
+                pst = view.nbr_or_none(par)
+                if (pst is not None and pst["rid"] == rid
+                        and pst["d"] == d - 1 and rid < me):
+                    return None
         if best_rid == me:
             return {"rid": me, "par": NONE, "d": 0}
         # deterministic tie-break: the smallest neighbor offering the claim
-        par = min(u for u in view.neighbors
-                  if view.nbr(u)["rid"] == best_rid
-                  and view.nbr(u)["d"] == best_d - 1)
+        # (nbr_states is in ascending neighbor order, so first match wins)
+        par_d = best_d - 1
+        for par, st in nbr_states:
+            if st["rid"] == best_rid and st["d"] == par_d:
+                break
         return {"rid": best_rid, "par": par, "d": best_d}
-
-    def _current_is_stable(self, view: NodeView, best_rid: int,
-                           best_d: int) -> bool:
-        """Whether the node's current claim is valid and as good as the best
-        available candidate (any valid parent achieving it is acceptable —
-        the rule does not churn between equivalent parents)."""
-        rid, par, d = view["rid"], view["par"], view["d"]
-        if (rid, d) != (best_rid, best_d):
-            return False
-        if par is NONE:
-            return rid == view.id and d == 0
-        if par not in view.neighbors:
-            return False
-        pst = view.nbr(par)
-        return pst["rid"] == rid and pst["d"] == d - 1 and rid < view.id
 
     def is_legal(self, net: Network, config) -> bool:
         """Legal: the min-identity BFS tree with exact distances."""

@@ -92,6 +92,11 @@ class PhaseLayer(Protocol):
 
     name = "phase-layer"
     phases: tuple[str, ...] = (WORK, SWAP)
+    #: next_phase consults the oracle over the whole configuration
+    #: (tree_of_config + remote NCA labels), so a write anywhere can flip
+    #: this layer's enabledness — the engine must not cache proposals
+    #: across non-neighbor writes.
+    read_locality = "global"
 
     # ------------------------------------------------------------------
     # task hooks

@@ -82,6 +82,7 @@ class Network:
             adj_build[v].append(u)
         for u in self._nodes:
             self._adj[u] = tuple(sorted(adj_build[u]))
+        self._adj_sets: dict[int, frozenset[int]] = {}
 
         self._weights: dict[tuple[int, int], int] | None = None
         if weights is not None:
@@ -150,6 +151,17 @@ class Network:
     def neighbors(self, u: int) -> tuple[int, ...]:
         """Sorted neighbor identities of ``u``."""
         return self._adj[u]
+
+    def neighbor_set(self, u: int) -> frozenset[int]:
+        """Neighbor identities of ``u`` as a frozenset (O(1) membership).
+
+        Built lazily and cached; the engine's hot path uses this for
+        neighbor-validation instead of scanning the sorted tuple.
+        """
+        cached = self._adj_sets.get(u)
+        if cached is None:
+            cached = self._adj_sets[u] = frozenset(self._adj[u])
+        return cached
 
     def degree(self, u: int) -> int:
         return len(self._adj[u])
@@ -281,20 +293,25 @@ class Network:
         node_ids: Iterable[int],
         edges: Iterable[tuple[int, int]],
         rng=None,
+        scale: int = 1,
         **kwargs,
     ) -> "Network":
         """Build a weighted network with random distinct weights.
 
-        Weights are a random permutation of ``{1, ..., m}`` scaled by a
-        small factor so ties never occur, matching the paper's w.l.o.g.
-        distinct-weights assumption.
+        Weights are a random permutation of ``{1, ..., m}`` (shuffled when
+        ``rng`` is given), so they are pairwise distinct *by construction*,
+        matching the paper's w.l.o.g. distinct-weights assumption.  Every
+        weight is multiplied by ``scale`` (default 1), which lets tests
+        widen the weight domain without ever introducing ties.
         """
+        if not isinstance(scale, int) or scale < 1:
+            raise ValueError(f"scale must be a positive integer, got {scale!r}")
         edge_list = sorted({UWEdge(u, v) for u, v in edges})
         m = len(edge_list)
         perm = list(range(1, m + 1))
         if rng is not None:
             rng.shuffle(perm)
-        weights = {e: w for e, w in zip(edge_list, perm)}
+        weights = {e: w * scale for e, w in zip(edge_list, perm)}
         return Network(node_ids, edge_list, weights=weights, **kwargs)
 
     def reweighted(self, weights: Mapping[tuple[int, int], int]) -> "Network":

@@ -28,8 +28,14 @@ from repro.runtime.registers import (
     custom_field,
     NONE,
 )
-from repro.runtime.protocol import NodeView, Protocol, ComposedProtocol
+from repro.runtime.protocol import (
+    NodeView,
+    Protocol,
+    ComposedProtocol,
+    effective_delta,
+)
 from repro.runtime.scheduler import (
+    EnabledSet,
     Scheduler,
     SynchronousScheduler,
     CentralRandomScheduler,
@@ -41,7 +47,12 @@ from repro.runtime.scheduler import (
     ALL_SCHEDULER_FACTORIES,
 )
 from repro.runtime.simulator import Simulator, RunResult, random_configuration
-from repro.runtime.faults import corrupt_nodes, corrupt_random_nodes
+from repro.runtime.faults import (
+    corrupt_nodes,
+    corrupt_random_nodes,
+    inject_faults,
+    inject_random_faults,
+)
 from repro.runtime.metrics import (
     node_register_bits,
     max_register_bits,
@@ -62,8 +73,10 @@ __all__ = [
     "custom_field",
     "NONE",
     "NodeView",
+    "effective_delta",
     "Protocol",
     "ComposedProtocol",
+    "EnabledSet",
     "Scheduler",
     "SynchronousScheduler",
     "CentralRandomScheduler",
@@ -78,6 +91,8 @@ __all__ = [
     "random_configuration",
     "corrupt_nodes",
     "corrupt_random_nodes",
+    "inject_faults",
+    "inject_random_faults",
     "node_register_bits",
     "max_register_bits",
     "total_register_bits",

@@ -14,9 +14,14 @@ from collections.abc import Sequence
 
 from repro.graphs.network import Network
 from repro.runtime.registers import RegisterSpec
-from repro.runtime.simulator import Config
+from repro.runtime.simulator import Config, Simulator
 
-__all__ = ["corrupt_nodes", "corrupt_random_nodes"]
+__all__ = [
+    "corrupt_nodes",
+    "corrupt_random_nodes",
+    "inject_faults",
+    "inject_random_faults",
+]
 
 
 def corrupt_nodes(
@@ -38,6 +43,42 @@ def corrupt_nodes(
                                list(field_names) if field_names else None)
         )
     return out
+
+
+def inject_faults(
+    sim: Simulator,
+    nodes: Sequence[int],
+    rng: random.Random,
+    field_names: Sequence[str] | None = None,
+) -> None:
+    """Corrupt the given nodes' registers of a *running* simulator, in place.
+
+    Goes through :meth:`Simulator.overwrite`, so each corrupted node and its
+    neighborhood land in the engine's dirty set and the incremental enabled
+    set stays coherent — this is the supported way to model transient faults
+    mid-execution (as opposed to :func:`corrupt_nodes`, which builds a fresh
+    initial configuration for a fresh simulator).
+    """
+    names = list(field_names) if field_names else None
+    for v in nodes:
+        sim.overwrite(v, sim.spec.corrupt_state(sim.net, v, rng, names))
+
+
+def inject_random_faults(
+    sim: Simulator,
+    k: int,
+    seed: int = 0,
+    field_names: Sequence[str] | None = None,
+) -> list[int]:
+    """Corrupt ``k`` uniformly random nodes of a running simulator.
+
+    Returns the victims.  See :func:`inject_faults`.
+    """
+    rng = random.Random(seed)
+    k = min(k, sim.net.n)
+    victims = rng.sample(list(sim.net.nodes), k)
+    inject_faults(sim, victims, rng, field_names)
+    return victims
 
 
 def corrupt_random_nodes(

@@ -20,7 +20,26 @@ from collections.abc import Mapping
 from repro.graphs.network import Network
 from repro.runtime.registers import RegisterSpec
 
-__all__ = ["NodeView", "Protocol", "ComposedProtocol"]
+__all__ = ["NodeView", "Protocol", "ComposedProtocol", "effective_delta"]
+
+
+def effective_delta(protocol: "Protocol",
+                    view: "NodeView") -> dict[str, object] | None:
+    """The fields ``protocol.step`` would *actually change* at ``view``.
+
+    Protocols may return updates that restate current values; enabledness
+    is defined on the effective write (register differs from what delta
+    would store), so those no-op fields are filtered out here.  Returns
+    ``None`` when the node is not enabled.  This is the single definition
+    of enabledness shared by the simulator's incremental engine and its
+    from-scratch cross-check rescan.
+    """
+    delta = protocol.step(view)
+    if not delta:
+        return None
+    own = view.state
+    delta = {k: val for k, val in delta.items() if own[k] != val}
+    return delta or None
 
 
 class NodeView:
@@ -79,14 +98,40 @@ class NodeView:
 
     def nbr(self, nbr: int) -> Mapping[str, object]:
         """A neighbor's register (read-only)."""
-        if nbr not in self.net.neighbors(self.node):
-            raise KeyError(f"{nbr} is not a neighbor of {self.node}")
+        if not self.is_neighbor(nbr):
+            raise KeyError(f"{nbr!r} is not a neighbor of {self.node}")
         return self._config[nbr]
 
-    def nbr_states(self):
-        """Iterate ``(neighbor_id, register)`` pairs."""
-        for u in self.net.neighbors(self.node):
-            yield u, self._config[u]
+    def is_neighbor(self, u) -> bool:
+        """Whether ``u`` is a neighbor of this node (O(1)).
+
+        Tolerates arbitrary junk (including unhashable values a corrupted
+        custom field might hold): anything that cannot be a node identity
+        is simply not a neighbor.
+        """
+        try:
+            return u in self.net.neighbor_set(self.node)
+        except TypeError:
+            return False
+
+    def nbr_or_none(self, u):
+        """A neighbor's register, or None when ``u`` is not a neighbor.
+
+        Single membership probe — the non-raising counterpart of
+        :meth:`nbr` for rules that must tolerate junk pointers in
+        corrupted registers.
+        """
+        try:
+            if u in self.net.neighbor_set(self.node):
+                return self._config[u]
+        except TypeError:
+            pass
+        return None
+
+    def nbr_states(self) -> list[tuple[int, Mapping[str, object]]]:
+        """``(neighbor_id, register)`` pairs in ascending neighbor order."""
+        config = self._config
+        return [(u, config[u]) for u in self.net.neighbors(self.node)]
 
     # -- derived tree-local helpers --------------------------------------
     # These only use readable information (own register + neighbor
@@ -110,6 +155,14 @@ class Protocol(ABC):
 
     #: Short name used in reports.
     name: str = "protocol"
+
+    #: How far :meth:`step` reads: ``"neighborhood"`` (the state model's
+    #: 1-hop closed neighborhood — the default) or ``"global"`` (the step
+    #: consults an oracle over the whole configuration, as the PLS-guided
+    #: layers do at their oracle boundary).  The simulator uses this to
+    #: decide how far a write invalidates cached proposals: declaring
+    #: ``"neighborhood"`` while reading farther yields stale enabledness.
+    read_locality: str = "neighborhood"
 
     @abstractmethod
     def register_spec(self, net: Network) -> RegisterSpec:
@@ -151,6 +204,10 @@ class ComposedProtocol(Protocol):
             raise ValueError("composition needs at least one layer")
         self.layers = list(layers)
         self.name = name
+        # the composition reads as far as its farthest-reading layer
+        self.read_locality = (
+            "global" if any(l.read_locality == "global" for l in layers)
+            else "neighborhood")
 
     def register_spec(self, net: Network) -> RegisterSpec:
         spec = self.layers[0].register_spec(net)

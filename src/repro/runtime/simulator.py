@@ -17,20 +17,32 @@ Implements the paper's execution and complexity model:
   self-stabilizing algorithm must reach a *legal* silent configuration from
   every initial configuration.
 
-The engine caches per-node step proposals and invalidates them only in the
-write-neighborhood of each applied step, so a step costs O(deg) proposal
-recomputations rather than O(n).
+Incremental enabled-set engine
+------------------------------
+
+The engine maintains a live :class:`~repro.runtime.scheduler.EnabledSet`
+plus a *dirty set* of nodes whose cached proposals a write (or a fault)
+invalidated.  Applying a batch of writes only dirties the write
+neighborhoods; the next scheduler step re-proposes exactly the dirty nodes
+and feeds the resulting adds/removes to the daemon through
+:meth:`Scheduler.notify`.  A scheduler step therefore costs O(deg) proposal
+recomputations per applied write instead of the O(n) full rescan the
+previous engine performed before every ``select`` — the difference between
+O(n·M) and O(Δ·M) Python work for an M-move central-daemon execution.
+:meth:`Simulator.rescan_enabled` recomputes enabledness from scratch with
+no caches, for cross-checking the incremental state in tests.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Callable
+from bisect import bisect_left, insort
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.graphs.network import Network
-from repro.runtime.protocol import NodeView, Protocol
-from repro.runtime.scheduler import Scheduler, SynchronousScheduler
+from repro.runtime.protocol import NodeView, Protocol, effective_delta
+from repro.runtime.scheduler import EnabledSet, Scheduler, SynchronousScheduler
 
 __all__ = ["Simulator", "RunResult", "random_configuration"]
 
@@ -46,7 +58,9 @@ class RunResult:
     silent: bool
     stopped_by_predicate: bool = False
     invariant_violations: int = 0
-    #: populated only when the simulator was created with ``record_trace``
+    #: populated only when the simulator was created with ``record_trace``;
+    #: the result owns this list (it is a deep copy of the simulator's
+    #: recording, so later runs or caller mutations cannot corrupt it).
     trace: list[Config] = field(default_factory=list)
 
     @property
@@ -94,8 +108,17 @@ class Simulator:
         self.rounds = 0
         self._invariant_violations = 0
         self._trace: list[Config] = []
-        # proposal cache: node -> (dict of changed fields) or None
+        # incremental enabledness machinery: valid proposals for every
+        # non-dirty node, the live enabled set, and the dirty set of nodes
+        # whose proposals the last writes/faults invalidated.
         self._proposal: dict[int, dict[str, object] | None] = {}
+        self._enabled = EnabledSet()
+        self._dirty: set[int] = set(net.nodes)
+        self._pending: set[int] | None = None  # the active round's pending set
+        self._sched_synced = False
+        # oracle-consulting protocols read the whole configuration, so any
+        # write invalidates every cached proposal (see Protocol.read_locality)
+        self._global_reads = protocol.read_locality == "global"
         if record_trace:
             self._snapshot()
 
@@ -103,44 +126,156 @@ class Simulator:
     # proposals and enabledness
     # ------------------------------------------------------------------
 
+    def _refresh(self) -> None:
+        """Re-propose every dirty node, settling the incremental state.
+
+        Cost is O(|dirty|) transition evaluations — O(deg) per write applied
+        since the last refresh.  Feeds the resulting enabled-set deltas to
+        the scheduler's incremental hooks and prunes the active round's
+        pending set, replacing the old per-step ``pending &= rescan``.
+        """
+        if self._dirty:
+            added: list[int] = []
+            removed: list[int] = []
+            net, config = self.net, self.config
+            step = self.protocol.step
+            proposal = self._proposal
+            # engine-owned EnabledSet internals, updated in place (the
+            # method-call indirection is measurable at this call rate)
+            eset = self._enabled._set
+            elist = self._enabled._list
+            # one view object reused across the loop: step() must not retain
+            # it (it is only valid for the duration of the atomic step)
+            view = NodeView(net, 0, config)
+            items = sorted(self._dirty)
+            self._dirty.clear()
+            i = 0
+            try:
+                for i, v in enumerate(items):
+                    # inlined effective_delta (this loop dominates stepping
+                    # cost)
+                    view.node = v
+                    delta = step(view)
+                    if delta:
+                        own = config[v]
+                        delta = {k: val for k, val in delta.items()
+                                 if own[k] != val} or None
+                    else:
+                        delta = None
+                    proposal[v] = delta
+                    if delta is not None:
+                        if v not in eset:
+                            eset.add(v)
+                            insort(elist, v)
+                            added.append(v)
+                    elif v in eset:
+                        eset.remove(v)
+                        del elist[bisect_left(elist, v)]
+                        removed.append(v)
+            except BaseException:
+                # a raising step() must not desynchronize the engine: the
+                # node that failed and everything unprocessed stay dirty,
+                # while the transitions already applied are delivered to the
+                # scheduler below so mirror-keeping daemons stay coherent
+                self._dirty.update(items[i:])
+                raise
+            finally:
+                if self._pending is not None:
+                    self._pending.difference_update(removed)
+                if self._sched_synced and (added or removed):
+                    self.scheduler.notify(added, removed)
+        if not self._sched_synced:
+            self.scheduler.reset(self._enabled)
+            self._sched_synced = True
+
     def _propose(self, v: int) -> dict[str, object] | None:
         """The pending write of node v, or None if v is not enabled."""
-        if v not in self._proposal:
-            view = NodeView(self.net, v, self.config)
-            delta = self.protocol.step(view)
-            if delta:
-                own = self.config[v]
-                delta = {k: val for k, val in delta.items() if own[k] != val}
-            self._proposal[v] = delta if delta else None
+        if v in self._dirty:
+            self._refresh()
         return self._proposal[v]
 
     def enabled_nodes(self) -> list[int]:
-        """All currently enabled nodes."""
-        return [v for v in self.net.nodes if self._propose(v) is not None]
+        """All currently enabled nodes, ascending."""
+        self._refresh()
+        return list(self._enabled)
+
+    def enabled_set(self) -> EnabledSet:
+        """The live enabled set (engine-owned; treat as read-only)."""
+        self._refresh()
+        return self._enabled
+
+    def rescan_enabled(self) -> list[int]:
+        """Enabled nodes recomputed from scratch, bypassing every cache.
+
+        O(n) transition evaluations; exists so tests can cross-check the
+        incrementally maintained enabled set against first principles.
+        """
+        net, config, proto = self.net, self.config, self.protocol
+        return [v for v in net.nodes
+                if effective_delta(proto, NodeView(net, v, config)) is not None]
 
     def is_silent(self) -> bool:
-        return not self.enabled_nodes()
+        self._refresh()
+        return not self._enabled
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
 
-    def _apply_batch(self, nodes: list[int]) -> None:
+    def _validate_selection(self, chosen: Sequence[int]) -> None:
+        """Enforce the daemon contract: non-empty, duplicate-free, enabled."""
+        if not chosen:
+            raise RuntimeError(
+                f"scheduler {self.scheduler.name!r} selected no node from a "
+                f"non-empty enabled set")
+        if len(chosen) == 1:  # the common central-daemon case
+            if chosen[0] not in self._enabled:
+                raise RuntimeError(
+                    f"scheduler {self.scheduler.name!r} selected non-enabled "
+                    f"nodes [{chosen[0]}] (enabled: {list(self._enabled)})")
+            return
+        name = self.scheduler.name
+        chosen_set = set(chosen)
+        if len(chosen_set) != len(chosen):
+            dups = sorted(v for v in chosen_set if chosen.count(v) > 1)
+            raise RuntimeError(
+                f"scheduler {name!r} selected duplicate nodes {dups}; a node "
+                f"takes at most one atomic step per daemon step")
+        stray = [v for v in chosen_set if v not in self._enabled]
+        if stray:
+            raise RuntimeError(
+                f"scheduler {name!r} selected non-enabled nodes "
+                f"{sorted(stray)} (enabled: {list(self._enabled)})")
+
+    def _apply_batch(self, nodes: Sequence[int]) -> None:
         """Apply the cached proposals of ``nodes`` simultaneously."""
         # gather first: every write must be based on the pre-step state
-        writes = []
-        for v in nodes:
-            delta = self._propose(v)
-            if delta is not None:
-                writes.append((v, delta))
-        for v, delta in writes:
-            self.config[v].update(delta)
-            self.moves += 1
-        # invalidate proposals in the write neighborhoods
-        for v, _ in writes:
-            self._proposal.pop(v, None)
-            for u in self.net.neighbors(v):
-                self._proposal.pop(u, None)
+        proposal = self._proposal
+        if len(nodes) == 1:  # central-daemon fast path
+            v = nodes[0]
+            delta = proposal[v] if v not in self._dirty else self._propose(v)
+            writes = [(v, delta)] if delta is not None else []
+        else:
+            writes = []
+            for v in nodes:
+                delta = (proposal[v] if v not in self._dirty
+                         else self._propose(v))
+                if delta is not None:
+                    writes.append((v, delta))
+        dirty = self._dirty
+        config = self.config
+        neighbors = self.net.neighbors
+        if self._global_reads and writes:
+            for v, delta in writes:
+                config[v].update(delta)
+            dirty.update(self.net.nodes)
+        else:
+            for v, delta in writes:
+                config[v].update(delta)
+                # invalidate proposals in the write neighborhood
+                dirty.add(v)
+                dirty.update(neighbors(v))
+        self.moves += len(writes)
         if writes:
             if self.invariant is not None and not self.invariant(self.net, self.config):
                 self._invariant_violations += 1
@@ -155,28 +290,40 @@ class Simulator:
         default move budget turns scheduler-starvation livelocks into
         diagnosable errors instead of hangs.
         """
-        pending = set(self.enabled_nodes())
-        if not pending:
+        self._refresh()
+        if not self._enabled:
             return False
         if max_moves is None:
             max_moves = 200 * self.net.n * self.net.n_bound + 10_000
         budget = max_moves
-        while pending:
-            current = self.enabled_nodes()
-            pending &= set(current)
-            if not pending:
-                break
-            chosen = self.scheduler.select(current)
-            if not chosen:
-                raise RuntimeError(f"{self.scheduler.name} selected no node")
-            self._apply_batch(chosen)
-            pending -= set(chosen)
-            budget -= len(chosen)
-            if budget <= 0:
-                raise RuntimeError(
-                    f"round exceeded {max_moves} moves "
-                    f"(protocol={self.protocol.name}, n={self.net.n})"
-                )
+        pending = set(self._enabled)
+        self._pending = pending  # _refresh prunes nodes that become disabled
+        refresh = self._refresh
+        select = self.scheduler.select
+        validate = self._validate_selection
+        apply_batch = self._apply_batch
+        enabled = self._enabled
+        eset = enabled._set
+        try:
+            while pending:
+                refresh()
+                if not pending:
+                    break
+                chosen = select(enabled)
+                # single-node fast path for the central-daemon common case;
+                # validate() handles (and rejects) everything else
+                if len(chosen) != 1 or chosen[0] not in eset:
+                    validate(chosen)
+                apply_batch(chosen)
+                pending.difference_update(chosen)
+                budget -= len(chosen)
+                if budget <= 0:
+                    raise RuntimeError(
+                        f"round exceeded {max_moves} moves "
+                        f"(protocol={self.protocol.name}, n={self.net.n})"
+                    )
+        finally:
+            self._pending = None
         self.rounds += 1
         return True
 
@@ -216,7 +363,11 @@ class Simulator:
             silent=self.is_silent(),
             stopped_by_predicate=stopped,
             invariant_violations=self._invariant_violations,
-            trace=self._trace,
+            # deep-copy: the result must stay valid across later run() calls
+            # and caller mutations (the old aliasing silently corrupted
+            # previously returned results).
+            trace=[{v: dict(s) for v, s in snap.items()}
+                   for snap in self._trace],
         )
 
     def run_to_silence(self, max_rounds: int) -> RunResult:
@@ -242,14 +393,24 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def overwrite(self, node: int, updates: dict[str, object]) -> None:
-        """Adversarially overwrite parts of one node's register."""
+        """Adversarially overwrite parts of one node's register.
+
+        Feeds the dirty set, so the incremental enabled set stays coherent
+        across injected faults.
+        """
+        if node not in self.config:
+            raise KeyError(
+                f"unknown node {node!r}: not a node of this network "
+                f"(n={self.net.n})")
         unknown = set(updates) - set(self.spec.names)
         if unknown:
             raise KeyError(f"unknown fields: {sorted(unknown)}")
         self.config[node].update(updates)
-        self._proposal.pop(node, None)
-        for u in self.net.neighbors(node):
-            self._proposal.pop(u, None)
+        if self._global_reads:
+            self._dirty.update(self.net.nodes)
+        else:
+            self._dirty.add(node)
+            self._dirty.update(self.net.neighbors(node))
 
     # ------------------------------------------------------------------
     # helpers

@@ -95,6 +95,37 @@ class TestWeights:
         ws = sorted(net.weights.values())
         assert ws == [1, 2, 3]
 
+    def test_with_distinct_weights_never_ties(self):
+        """The docstring promise: weights are a permutation of {1..m}
+        (times scale), hence pairwise distinct by construction."""
+        for seed in range(5):
+            rng = random.Random(seed)
+            net = Network.with_distinct_weights(
+                range(1, 8),
+                [(i, i + 1) for i in range(1, 7)] + [(1, 7), (2, 6)],
+                rng=rng)
+            ws = list(net.weights.values())
+            assert len(set(ws)) == len(ws)
+            assert sorted(ws) == list(range(1, net.m + 1))
+
+    def test_with_distinct_weights_scale(self):
+        net = Network.with_distinct_weights(
+            [1, 2, 3], [(1, 2), (2, 3), (1, 3)], scale=10)
+        assert sorted(net.weights.values()) == [10, 20, 30]
+
+    def test_with_distinct_weights_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            Network.with_distinct_weights([1, 2], [(1, 2)], scale=0)
+        with pytest.raises(ValueError, match="scale"):
+            # a float would be silently truncated by Network's int() coercion
+            Network.with_distinct_weights([1, 2], [(1, 2)], scale=2.5)
+
+    def test_neighbor_set_matches_neighbors(self):
+        net = Network([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4), (1, 4)])
+        for u in net.nodes:
+            assert net.neighbor_set(u) == frozenset(net.neighbors(u))
+        assert 3 not in net.neighbor_set(1)
+
     def test_reweighted_keeps_topology(self):
         net = Network([1, 2, 3], [(1, 2), (2, 3)],
                       weights={(1, 2): 1, (2, 3): 2})

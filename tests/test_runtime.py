@@ -23,12 +23,14 @@ from repro.runtime import (
     NodeView,
     Protocol,
     RegisterSpec,
+    Scheduler,
     Simulator,
     StarvingScheduler,
     SynchronousScheduler,
     corrupt_random_nodes,
     counter_field,
     id_field,
+    inject_random_faults,
     max_register_bits,
     node_register_bits,
     random_configuration,
@@ -205,6 +207,146 @@ class TestSimulatorBasics:
         with pytest.raises(ValueError, match="missing"):
             Simulator(net, MaxIdFlood(), config={v: {} for v in net.nodes})
 
+    def test_trace_is_owned_by_each_result(self):
+        """Regression: RunResult.trace used to alias the simulator's
+        internal recording — a later run() (or caller mutation) silently
+        corrupted previously returned results."""
+        net = path_graph(4, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood(), record_trace=True)
+        r1 = sim.run(max_rounds=10)
+        frozen = [{v: dict(s) for v, s in snap.items()} for snap in r1.trace]
+        # a second run appends snapshots; r1 must not grow or change
+        sim.overwrite(1, {"maxid": 1, "hops": 0})
+        r2 = sim.run(max_rounds=10)
+        assert r1.trace == frozen
+        assert len(r2.trace) > len(r1.trace)
+        # caller mutation of a returned trace must not leak into the next
+        r2.trace[0][1]["maxid"] = -999
+        r3 = sim.run(max_rounds=10)
+        assert r3.trace[0][1]["maxid"] != -999
+
+    def test_overwrite_unknown_node_clear_error(self):
+        net = path_graph(3, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood())
+        with pytest.raises(KeyError, match="unknown node 99"):
+            sim.overwrite(99, {"maxid": 1})
+
+    def test_overwrite_unknown_field_clear_error(self):
+        net = path_graph(3, scramble_ids=False)
+        sim = Simulator(net, MaxIdFlood())
+        with pytest.raises(KeyError, match="unknown fields"):
+            sim.overwrite(1, {"nosuch": 1})
+
+    def test_junk_register_values_tolerated(self):
+        """Corrupted registers may hold junk outside the field domain
+        (unhashable parent pointers, fractional distances); rules must
+        classify the node as unstable instead of crashing or adopting."""
+        from repro.core.sst import SpanningTreeProtocol
+        net = path_graph(4, scramble_ids=False)
+        sim = Simulator(net, SpanningTreeProtocol())
+        sim.run(max_rounds=30)
+        sim.overwrite(2, {"rid": 1, "d": 1, "par": [1]})   # unhashable junk
+        sim.overwrite(3, {"rid": 0, "d": -0.5})            # fractional junk
+        result = sim.run(max_rounds=30)
+        assert result.silent
+        assert all(isinstance(sim.config[v]["d"], int) for v in net.nodes)
+        assert SpanningTreeProtocol().is_legal(net, sim.config)
+
+    def test_inject_random_faults_in_place(self):
+        net = random_connected_graph(10, seed=3)
+        proto = MaxIdFlood()
+        sim = Simulator(net, proto)
+        sim.run(max_rounds=50)
+        assert sim.is_silent()
+        victims = inject_random_faults(sim, k=4, seed=5)
+        assert len(victims) == 4
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+        result = sim.run(max_rounds=50)
+        assert result.silent
+        assert proto.is_legal(net, sim.config)
+
+
+class TestRefreshExceptionSafety:
+    def test_raising_step_does_not_desynchronize(self):
+        """A protocol.step that raises mid-refresh must leave the engine
+        consistent: processed transitions reach the scheduler's mirror,
+        the failing node stays dirty, and a repaired run still converges
+        with the incremental enabled set equal to a full rescan."""
+
+        class Fragile(MaxIdFlood):
+            def step(self, view):
+                if view["hops"] == -1:  # poisoned sentinel
+                    raise RuntimeError("boom")
+                return super().step(view)
+
+        net = path_graph(6, scramble_ids=False)
+        sched = StarvingScheduler(victims={6}, seed=0)
+        sim = Simulator(net, Fragile(), sched)
+        sim.run(max_rounds=30)
+        assert sim.is_silent()
+        # dirty three nodes; the middle one poisons its own re-proposal
+        sim.overwrite(1, {"maxid": 1, "hops": 0})
+        sim.overwrite(3, {"hops": -1})
+        sim.overwrite(5, {"maxid": 1, "hops": 0})
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.enabled_nodes()
+        # node 1's transition was applied before the raise: it must have
+        # reached the starving daemon's non-victim mirror, and the failing
+        # node must still be dirty (to be re-proposed after repair)
+        assert 1 in sched._preferred
+        assert 3 in sim._dirty
+        # repair the poisoned register; everything must reconverge
+        sim.overwrite(3, {"hops": 0})
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+        result = sim.run(max_rounds=30)
+        assert result.silent
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+
+
+class _BadScheduler(Scheduler):
+    """Returns whatever its factory says — for contract-violation tests."""
+
+    name = "bad"
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def select(self, enabled):
+        return self._fn(list(enabled))
+
+
+class TestSelectionValidation:
+    """run_round must reject daemon contract violations loudly instead of
+    double-counting moves or silently tolerating stray nodes."""
+
+    def _sim(self, sched):
+        net = path_graph(5, scramble_ids=False)
+        return Simulator(net, MaxIdFlood(), sched)
+
+    def test_duplicate_selection_rejected(self):
+        sim = self._sim(_BadScheduler(lambda en: [en[0], en[0]]))
+        with pytest.raises(RuntimeError, match="duplicate"):
+            sim.run_round()
+
+    def test_non_enabled_selection_rejected(self):
+        net = path_graph(5, scramble_ids=False)
+        sim = Simulator(
+            net, MaxIdFlood(),
+            _BadScheduler(lambda en: [next(v for v in net.nodes
+                                           if v not in en)]))
+        with pytest.raises(RuntimeError, match="non-enabled"):
+            sim.run_round()
+
+    def test_empty_selection_rejected(self):
+        sim = self._sim(_BadScheduler(lambda en: []))
+        with pytest.raises(RuntimeError, match="selected no node"):
+            sim.run_round()
+
+    def test_mixed_valid_and_stray_rejected(self):
+        sim = self._sim(_BadScheduler(lambda en: en + [10_000]))
+        with pytest.raises(RuntimeError, match="non-enabled"):
+            sim.run_round()
+
 
 class TestSchedulers:
     @pytest.mark.parametrize("name", sorted(ALL_SCHEDULER_FACTORIES))
@@ -247,6 +389,20 @@ class TestSchedulers:
     def test_distributed_random_validates_p(self):
         with pytest.raises(ValueError):
             DistributedRandomScheduler(p=0.0)
+
+    def test_distributed_random_bounded_redraws(self):
+        """Regression: tiny p with a small enabled set used to spin in an
+        unbounded redraw loop; the daemon now falls back to one uniformly
+        random enabled node after ``max_redraws`` empty draws."""
+        s = DistributedRandomScheduler(p=1e-12, seed=0, max_redraws=8)
+        for _ in range(10):
+            chosen = s.select([4, 7, 9])
+            assert len(chosen) == 1
+            assert chosen[0] in {4, 7, 9}
+
+    def test_distributed_random_validates_max_redraws(self):
+        with pytest.raises(ValueError):
+            DistributedRandomScheduler(p=0.5, max_redraws=0)
 
 
 class TestComposition:
@@ -302,6 +458,15 @@ class TestComposition:
     def test_empty_composition_rejected(self):
         with pytest.raises(ValueError):
             ComposedProtocol([])
+
+    def test_read_locality_is_widest_of_layers(self):
+        class Oracle(MaxIdFlood):
+            read_locality = "global"
+
+        assert MaxIdFlood().read_locality == "neighborhood"
+        assert ComposedProtocol([MaxIdFlood()]).read_locality == "neighborhood"
+        assert (ComposedProtocol([MaxIdFlood(), Oracle()]).read_locality
+                == "global")
 
 
 class TestFaultsAndMetrics:
