@@ -4,80 +4,55 @@ The paper's design choice under test: a switch prunes sizes along the root
 paths and distances in the moving subtree, so *both* component schemes are
 needed — whichever entry a node loses, the other one still certifies it.
 
-Ablation: project the label trace of a legal switch onto
+Ablation (the ``switch-ablation`` analysis workload,
+:func:`repro.experiments.analyses.switch_ablation_detail`): project the
+label trace of a legal switch onto
 
-* the distance-only scheme (drop s): alarms the moment sizes would have
-  carried the proof through a pruned-distance region;
-* the size-only scheme (drop d): alarms in the pruned-size region;
+* the distance-only scheme (drop s): alarms or loses its entry the moment
+  sizes would have carried the proof through a pruned-distance region;
+* the size-only scheme (drop d): likewise in the pruned-size region;
 * the full malleable scheme: zero alarms (the paper's Lemma 4.1).
 
-The table reports, per scheme, in how many intermediate configurations at
-least one node rejects — making the necessity of redundancy measurable.
+The table reports, per scheme, in how many intermediate configurations the
+proof fails to carry — making the necessity of redundancy measurable.
 """
 
-from repro.analysis import format_table
-from repro.core import bfs_tree
-from repro.graphs import random_connected_graph
-from repro.labeling.malleable import MalleablePLS
-from repro.labeling.tree_pls import DistanceLabel, DistancePLS, SizeLabel, SizePLS
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (
+    experiment_subset,
+    get_campaign,
+    render_experiment,
+    run_campaign,
+)
 
 
 def run_exp_abl():
-    net = random_connected_graph(14, seed=13)
-    tree = bfs_tree(net)
-    pls = MalleablePLS()
-    # pick a switch that actually moves a subtree (so distances get pruned:
-    # the ablation needs both pruning dimensions exercised)
-    trace = None
-    for e in tree.non_tree_edges():
-        for f in tree.fundamental_cycle_edges(e):
-            cand = pls.full_switch_trace(net, tree, e, f)
-            if any(lab.d is None for cfg in cand.configs
-                   for lab in cfg.values()):
-                trace = cand
-                break
-        if trace:
-            break
-    assert trace is not None, "no subtree-moving switch in this instance"
-
-    dist_pls, size_pls = DistancePLS(), SizePLS()
-    alarms = {"malleable (d,s)": 0, "distance-only": 0, "size-only": 0}
-    unverifiable = {"distance-only": 0, "size-only": 0}
-    for cfg in trace.configs:
-        assert pls.verify(net, cfg).accepted
-        # distance-only projection: pruned d has no representation; count
-        # configurations where some node's distance entry is simply gone
-        if any(lab.d is None for lab in cfg.values()):
-            unverifiable["distance-only"] += 1
-        else:
-            dl = {v: DistanceLabel(l.rid, l.par, l.d) for v, l in cfg.items()}
-            if not dist_pls.verify(net, dl).accepted:
-                alarms["distance-only"] += 1
-        if any(lab.s is None for lab in cfg.values()):
-            unverifiable["size-only"] += 1
-        else:
-            sl = {v: SizeLabel(l.rid, l.par, l.s) for v, l in cfg.items()}
-            if not size_pls.verify(net, sl).accepted:
-                alarms["size-only"] += 1
-    rows = [
-        ("malleable (d,s)", len(trace.configs), 0, 0),
-        ("distance-only", len(trace.configs), alarms["distance-only"],
-         unverifiable["distance-only"]),
-        ("size-only", len(trace.configs), alarms["size-only"],
-         unverifiable["size-only"]),
-    ]
+    records = run_campaign(
+        experiment_subset(get_campaign("structure"), "EXP-ABL"))
     print()
-    print(format_table(
-        "EXP-ABL: scheme ablation over one full T+e-f switch trace",
-        ["scheme", "configs", "alarmed configs", "entry-missing configs"],
-        rows))
-    # the single-entry schemes cannot cover the whole switch; the
-    # redundant scheme covers every configuration
-    assert unverifiable["distance-only"] + alarms["distance-only"] > 0
-    assert unverifiable["size-only"] + alarms["size-only"] > 0
-    return rows
+    print(render_experiment("EXP-ABL", records))
+    return records
+
+
+def check_exp_abl(records):
+    """The claim: only the redundant scheme covers the whole switch."""
+    assert len(records) == 1
+    m = records[0]["metrics"]
+    # the redundant scheme covers every configuration ...
+    assert m["malleable_alarms"] == 0
+    # ... while each single-entry scheme fails somewhere along the switch
+    assert m["distance_alarms"] + m["distance_missing"] > 0
+    assert m["size_alarms"] + m["size_missing"] > 0
 
 
 def test_exp_abl_redundancy_needed(once):
-    rows = once(run_exp_abl)
-    assert rows[0][2] == 0
+    check_exp_abl(once(run_exp_abl))
+
+
+if __name__ == "__main__":
+    check_exp_abl(run_exp_abl())

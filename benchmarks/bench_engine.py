@@ -1,15 +1,17 @@
 """EXP-ENGINE — throughput of the incremental enabled-set engine.
 
-Measures moves/sec of the SST protocol under every daemon in
-``ALL_SCHEDULER_FACTORIES`` on rings, grids, and random graphs, then an
-apples-to-apples comparison for the central-random daemon on a 512-node
-random graph: the incremental engine versus the pre-PR stepping discipline
-(a full enabled-set rescan before every ``select``), emulated on the same
-engine so only the scan discipline differs.
+The throughput grid (SST under every daemon on rings, grids, and random
+graphs) is declared in :func:`repro.experiments.campaigns.engine` and runs
+through the campaign harness — optionally in parallel and against a
+resumable store.  On top of the grid, this bench keeps the
+apples-to-apples scan-discipline comparison: the incremental engine versus
+the pre-PR stepping discipline (a full enabled-set rescan before every
+``select``), emulated on the same engine so only the scan differs.
 
 Run as a script for the full sizes, or with ``--smoke`` for the CI job:
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_engine.py --store results/engine.jsonl --workers 4
 
 or under pytest (smoke sizes):
 
@@ -26,7 +28,13 @@ if __name__ == "__main__":  # script mode: make src/ importable
 
 from repro.analysis import format_table
 from repro.core.sst import SpanningTreeProtocol
-from repro.graphs import grid_graph, random_connected_graph, ring
+from repro.experiments import (
+    ResultStore,
+    render_experiment,
+    run_campaign,
+)
+from repro.experiments.campaigns import engine as engine_campaign
+from repro.graphs import random_connected_graph
 from repro.runtime import (
     ALL_SCHEDULER_FACTORIES,
     CentralRandomScheduler,
@@ -36,25 +44,13 @@ from repro.runtime import (
 )
 
 
-def _topologies(n: int):
-    rows = max(2, int(n ** 0.5))
-    cols = max(2, n // rows)
-    return [
-        ("ring", ring(n, seed=1)),
-        ("grid", grid_graph(rows, cols, seed=1)),
-        ("random", random_connected_graph(n, seed=42)),
-    ]
-
-
-def _timed_run(net, scheduler) -> tuple[int, int, float]:
-    proto = SpanningTreeProtocol()
-    cfg = random_configuration(net, proto, seed=7)
-    sim = Simulator(net, proto, scheduler, config=cfg)
-    t0 = time.perf_counter()
-    result = sim.run(max_rounds=2_000_000)
-    dt = time.perf_counter() - t0
-    assert result.silent
-    return result.moves, result.rounds, dt
+def run_exp_engine(n: int = 512, quiet: bool = False, store: ResultStore | None = None,
+                   workers: int = 1):
+    records = run_campaign(engine_campaign(n=n), store=store, workers=workers)
+    if not quiet:
+        print()
+        print(render_experiment("EXP-ENGINE", records))
+    return records
 
 
 class _LegacyRescanScheduler(Scheduler):
@@ -75,22 +71,15 @@ class _LegacyRescanScheduler(Scheduler):
         return self.inner.select(current)
 
 
-def run_exp_engine(n: int = 512, quiet: bool = False):
-    rows = []
-    for topo_name, net in _topologies(n):
-        for sched_name in sorted(ALL_SCHEDULER_FACTORIES):
-            sched = ALL_SCHEDULER_FACTORIES[sched_name](3)
-            moves, rounds, dt = _timed_run(net, sched)
-            rows.append((topo_name, net.n, sched_name, rounds, moves,
-                         f"{moves / dt:,.0f}"))
-    if not quiet:
-        print()
-        print(format_table(
-            f"EXP-ENGINE: incremental engine throughput "
-            f"(sst, arbitrary init, n≈{n})",
-            ["topology", "n", "scheduler", "rounds", "moves", "moves/sec"],
-            rows))
-    return rows
+def _timed_run(net, scheduler) -> tuple[int, int, float]:
+    proto = SpanningTreeProtocol()
+    cfg = random_configuration(net, proto, seed=7)
+    sim = Simulator(net, proto, scheduler, config=cfg)
+    t0 = time.perf_counter()
+    result = sim.run(max_rounds=2_000_000)
+    dt = time.perf_counter() - t0
+    assert result.silent
+    return result.moves, result.rounds, dt
 
 
 #: moves/sec of the actual pre-PR engine (commit 91f0447) on this exact
@@ -139,9 +128,14 @@ def run_engine_comparison(n: int = 512, quiet: bool = False):
     return inc_rate, leg_rate
 
 
+def check_exp_engine(records):
+    """The claim: every (topology, daemon) run reaches silence."""
+    assert len(records) == 3 * len(ALL_SCHEDULER_FACTORIES)
+    assert all(r["metrics"]["silent"] for r in records)
+
+
 def test_exp_engine(once):
-    rows = once(lambda: run_exp_engine(n=48))
-    assert len(rows) == 3 * len(ALL_SCHEDULER_FACTORIES)
+    check_exp_engine(once(lambda: run_exp_engine(n=48)))
 
 
 def test_engine_comparison(once):
@@ -155,7 +149,13 @@ if __name__ == "__main__":
                         help="small sizes for CI (seconds, not minutes)")
     parser.add_argument("-n", type=int, default=None,
                         help="override the node count")
+    parser.add_argument("--store", default=None,
+                        help="resumable JSONL store for the campaign grid")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel workers for the campaign grid")
     args = parser.parse_args()
     size = args.n or (48 if args.smoke else 512)
-    run_exp_engine(n=size)
+    check_exp_engine(run_exp_engine(
+        n=size, store=ResultStore(args.store) if args.store else None,
+        workers=args.workers))
     run_engine_comparison(n=size)

@@ -1,33 +1,53 @@
 """EXP-F2 — Fig. 2: the Boruvka fragment hierarchy on a concrete tree.
 
-Prints the per-level fragment table (fragment owner and selected outgoing
-edge per node), checks k <= ceil(log2 n) + 1, and regenerates the
-violation-localisation behaviour: on a non-MST tree some node sees a
-lighter outgoing graph edge; the red-rule swap strictly increases the
-overlap with the MST.
+The ``boruvka-fragments`` analysis workload
+(:func:`repro.experiments.analyses.boruvka_fragments_detail`) checks
+k <= ceil(log2 n) + 1 levels and regenerates the violation-localisation
+behaviour: on a non-MST tree some node sees a lighter outgoing graph edge;
+each red-rule swap strictly increases the overlap with the MST until the
+MST is reached.  Script mode additionally prints the per-node fragment
+table and the improvement column of Algorithm 2.
 """
 
-import math
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import format_table
-from repro.baselines import kruskal_mst
-from repro.core import random_spanning_tree
-from repro.core.mst import MSTPotential
-from repro.graphs import random_connected_graph
-from repro.labeling.mst_pls import boruvka_trace, find_mst_violation, phi_values
+from repro.experiments import (
+    experiment_subset,
+    get_campaign,
+    render_experiment,
+    run_campaign,
+)
 
 
 def run_exp_f2():
-    net = random_connected_graph(12, seed=9, weighted=True)
-    tree = random_spanning_tree(net, seed=10, root=net.min_id)
-    trace = boruvka_trace(net, tree)
-    k = len(trace[net.min_id])
-    assert k <= math.ceil(math.log2(net.n)) + 1
+    records = run_campaign(
+        experiment_subset(get_campaign("structure"), "EXP-F2"))
+    print()
+    print(render_experiment("EXP-F2", records))
+    return records
+
+
+def print_detail():
+    """The full Fig. 2 presentation: per-node trace + improvement column."""
+    from repro.experiments.analyses import boruvka_fragments_detail
+    from repro.experiments.spec import spawn_rng
+
+    metrics, detail = boruvka_fragments_detail(
+        spawn_rng(0, "detail", "analysis"),
+        {"n": 12, "seed": 9, "tree_seed": 10})
+    net, trace = detail["net"], detail["boruvka_trace"]
+    k = metrics["levels"]
     rows = []
     for v in sorted(net.nodes):
         cells = []
         for lv in trace[v]:
-            oe = "-" if lv.out_edge is None else f"{lv.out_edge[0]}-{lv.out_edge[1]}(w{lv.out_edge[2]})"
+            oe = ("-" if lv.out_edge is None
+                  else f"{lv.out_edge[0]}-{lv.out_edge[1]}(w{lv.out_edge[2]})")
             cells.append(f"F={lv.fragment} f={oe}")
         rows.append((v, *cells))
     print()
@@ -36,38 +56,30 @@ def run_exp_f2():
         f"(n={net.n}, k={k} levels)",
         ["node", *[f"level {i + 1}" for i in range(k)]],
         rows))
-    kk, phis = phi_values(net, tree)
-    phi = kk * net.n - sum(phis.values())
-    print(f"phi(T) = {phi} (0 iff MST); "
-          f"violating nodes: {[v for v in net.nodes if phis[v] < kk]}")
-
-    # drive Algorithm 2 and report the improvement column
-    pot = MSTPotential()
-    mst = kruskal_mst(net)
-    cur = tree
-    imp_rows = []
-    step = 0
-    while True:
-        pair = pot.find_improvement(net, cur)
-        if pair is None:
-            break
-        e, f = pair
-        before = len(cur.edges() & mst)
-        cur = cur.swap(e, f)
-        after = len(cur.edges() & mst)
-        step += 1
-        imp_rows.append((step, f"{e}", f"{f}", before, after,
-                         pot.value(net, cur)))
-        assert after == before + 1
+    imp_rows = [
+        (i + 1, f"{e}", f"{f}", before, after, phi)
+        for i, (e, f, before, after, phi) in enumerate(detail["improvements"])
+    ]
     print()
     print(format_table(
         "EXP-F2: red-rule improvements (Algorithm 2) to the MST",
         ["step", "e in", "f out", "|T&MST| before", "after", "phi"],
         imp_rows))
-    assert cur.edges() == mst
-    return len(imp_rows)
+
+
+def check_exp_f2(records):
+    """The claim: bounded levels, and red-rule swaps that reach the MST
+    (monotone-overlap and MST-arrival asserts live in the workload)."""
+    assert len(records) == 1
+    m = records[0]["metrics"]
+    assert m["red_rule_swaps"] >= 1
+    assert m["levels"] >= 1
 
 
 def test_exp_f2_fragments(once):
-    swaps = once(run_exp_f2)
-    assert swaps >= 1
+    check_exp_f2(once(run_exp_f2))
+
+
+if __name__ == "__main__":
+    check_exp_f2(run_exp_f2())
+    print_detail()

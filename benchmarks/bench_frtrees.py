@@ -1,55 +1,47 @@
 """EXP-P81 — context for Proposition 8.1: why FR-trees, not near-MDST.
 
-Claims regenerated: (a) FR-trees are a *strict* subclass of the
-degree-(OPT+1) spanning trees (we exhibit near-optimal trees the FR
-verifier rejects — certifying plain near-optimality is the NP=co-NP
-obstruction); (b) every FR-tree found is within +1 of the exact optimum,
-i.e. the O(log n)-bit FR certificate really does certify near-optimality.
+Claims regenerated (the ``fr-subclass`` analysis workload,
+:func:`repro.experiments.analyses.fr_subclass_detail`): (a) FR-trees are a
+*strict* subclass of the degree-(OPT+1) spanning trees (we exhibit
+near-optimal trees the FR verifier rejects — certifying plain
+near-optimality is the NP=co-NP obstruction); (b) every FR-tree found is
+within +1 of the exact optimum, i.e. the O(log n)-bit FR certificate
+really does certify near-optimality.
 """
 
-from repro.analysis import format_table
-from repro.baselines import exact_minimum_degree
-from repro.core import random_spanning_tree
-from repro.core.fr import fuerer_raghavachari, is_fr_tree
-from repro.graphs import random_connected_graph
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (
+    experiment_subset,
+    get_campaign,
+    render_experiment,
+    run_campaign,
+)
 
 
 def run_exp_p81():
-    near_opt = 0
-    near_opt_not_fr = 0
-    fr_within_one = 0
-    fr_total = 0
-    rows = []
-    for seed in range(25):
-        net = random_connected_graph(8, extra_edges=6, seed=seed)
-        opt = exact_minimum_degree(net)
-        for tseed in range(4):
-            t = random_spanning_tree(net, seed=tseed)
-            fr = is_fr_tree(net, t)
-            if t.max_degree() <= opt + 1:
-                near_opt += 1
-                if not fr:
-                    near_opt_not_fr += 1
-            if fr:
-                fr_total += 1
-                if t.max_degree() <= opt + 1:
-                    fr_within_one += 1
-        run = fuerer_raghavachari(net)
-        assert run.degree <= opt + 1
-    rows.append(("random trees with deg <= OPT+1", near_opt))
-    rows.append(("... of which NOT FR-trees", near_opt_not_fr))
-    rows.append(("random trees that are FR-trees", fr_total))
-    rows.append(("... of which within OPT+1", fr_within_one))
+    records = run_campaign(
+        experiment_subset(get_campaign("structure"), "EXP-P81"))
     print()
-    print(format_table(
-        "EXP-P81: FR-trees vs near-MDST (100 random trees on 25 graphs)",
-        ["population", "count"],
-        rows))
-    assert near_opt_not_fr > 0          # strict subclass
-    assert fr_within_one == fr_total     # FR certifies the degree bound
-    return rows
+    print(render_experiment("EXP-P81", records))
+    return records
+
+
+def check_exp_p81(records):
+    """The claims: strict subclass, and FR certifies the degree bound."""
+    assert len(records) == 1
+    m = records[0]["metrics"]
+    assert m["near_opt_not_fr"] > 0           # strict subclass
+    assert m["fr_within_one"] == m["fr_total"]  # FR certifies the bound
 
 
 def test_exp_p81_fr_subclass(once):
-    rows = once(run_exp_p81)
-    assert len(rows) == 4
+    check_exp_p81(once(run_exp_p81))
+
+
+if __name__ == "__main__":
+    check_exp_p81(run_exp_p81())

@@ -2,73 +2,57 @@
 
 Claims regenerated:
 
-* the silent protocol stabilizes on the unique MST in poly(n) rounds;
+* the silent protocol stabilizes on the unique MST in poly(n) rounds
+  (the ``legal`` metric is the protocol's tree == Kruskal check);
 * its certificates cost O(log^2 n) bits per node (optimal for silent MST
   verification, ref [50]) — measured, with the log-log fit exponent ~2;
 * the compact baseline ([17]/[51] style) uses O(log n) bits but is never
   silent — who wins depends on the dimension, exactly as in the paper.
+
+The size ladder and both protocols are declared in
+:func:`repro.experiments.campaigns.mst`.
 """
 
 import math
+import sys
+from pathlib import Path
 
-from repro.analysis import fit_log_exponent, format_table
-from repro.baselines import kruskal_mst
-from repro.baselines.compact_mst import CompactNonSilentMST
-from repro.core import random_spanning_tree, tree_from_edges
-from repro.core.swap import tree_of_config
-from repro.core.tasks import guided_mst_protocol
-from repro.graphs import random_connected_graph
-from repro.labeling.mst_pls import MSTPLS
-from repro.runtime import Simulator, SynchronousScheduler, max_register_bits
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from conftest import seeded_config
-
-SIZES = (8, 12, 16, 20)
+from repro.analysis import fit_log_exponent
+from repro.experiments import get_campaign, render_experiment, run_campaign
 
 
 def run_exp_t1():
-    rows = []
-    ns, cert_bits = [], []
-    for n in SIZES:
-        net = random_connected_graph(n, seed=n, weighted=True)
-        proto = guided_mst_protocol()
-        start = random_spanning_tree(net, seed=1, root=net.min_id)
-        sim = Simulator(net, proto, SynchronousScheduler(),
-                        config=seeded_config(net, proto, start))
-        result = sim.run(max_rounds=20_000 * n)
-        tree = tree_of_config(net, sim.config)
-        assert result.silent and tree.edges() == kruskal_mst(net)
-        # the Section VI certificate, measured
-        pls = MSTPLS()
-        labels = pls.prove(net, tree)
-        bits = pls.max_label_bits(net, labels)
-        # the non-silent compact baseline
-        base = CompactNonSilentMST()
-        bsim = Simulator(net, base)
-        bresult = bsim.run(max_rounds=40,
-                           stop_when=lambda nn, cfg: base.is_legal(nn, cfg))
-        base_bits = max_register_bits(net, bsim.spec, bsim.config)
-        rows.append((n, result.rounds, bits, "yes",
-                     base_bits, "no (wave spins)"))
-        ns.append(n)
-        cert_bits.append(bits)
-        assert not bsim.is_silent()  # the baseline never goes quiet
-    exp = fit_log_exponent(ns, cert_bits)
+    records = run_campaign(get_campaign("mst"))
     print()
-    print(format_table(
-        "EXP-T1: silent MST (ours) vs compact non-silent baseline",
-        ["n", "rounds to silence", "cert bits/node (ours)", "silent",
-         "bits/node (compact)", "silent (compact)"],
-        rows))
-    print(f"certificate-size log-log fit exponent: {exp:.2f} "
-          f"(paper: Theta(log^2 n) -> ~2; small-n fits read low because "
-          f"the O(log n) tree certificate is a large additive share)")
+    print(render_experiment("EXP-T1", records))
+    return records
+
+
+def check_exp_t1(records):
+    """The claims: unique MST, O(log^2 n) certificates, baseline never silent."""
+    guided = [r for r in records if r["spec"]["protocol"] == "guided-mst"]
+    compact = [r for r in records if r["spec"]["protocol"] == "compact-mst"]
+    assert len(guided) == len(compact) == 4
+    ns, cert_bits = [], []
+    for r in guided:
+        m = r["metrics"]
+        assert m["silent"] and m["legal"], r["spec"]  # legal == unique MST
+        assert m["cert_bits"] <= 6 * math.log2(m["n"] * m["n"]) ** 2
+        ns.append(m["n"])
+        cert_bits.append(m["cert_bits"])
+    exp = fit_log_exponent(ns, cert_bits)
     assert 0.8 <= exp <= 3.2
-    for n, bits in zip(ns, cert_bits):
-        assert bits <= 6 * math.log2(n * n) ** 2
-    return rows
+    for r in compact:
+        m = r["metrics"]
+        assert m["legal"] and not m["silent"], r["spec"]  # wave spins
 
 
 def test_exp_t1_mst_headline(once):
-    rows = once(run_exp_t1)
-    assert len(rows) == len(SIZES)
+    check_exp_t1(once(run_exp_t1))
+
+
+if __name__ == "__main__":
+    check_exp_t1(run_exp_t1())

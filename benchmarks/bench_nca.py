@@ -1,88 +1,71 @@
 """EXP-L51 — Lemma 5.1: the NCA labeling and its proof-labeling scheme.
 
 Regenerates: O(log n)-bit labels (Gilbert–Moore wire format) across
-adversarial tree shapes, correctness of nca() from labels alone, the
-certificate size of the PLS, and the O(n)-round distributed construction.
+adversarial tree shapes, correctness of nca() from labels alone (checked
+inside the ``nca-label-sizes`` analysis workload), the certificate size of
+the PLS, and the O(n)-round distributed construction.
+
+Both halves are declared in :func:`repro.experiments.campaigns.nca`: a
+grid of ``nca-label-sizes`` analysis specs (shape x size ladder) and
+``nca-build`` protocol runs (tree layer + NCA layer to silence).
 """
 
-import math
+import sys
+from pathlib import Path
 
-from repro.analysis import fit_log_exponent, format_table
-from repro.core import bfs_tree
-from repro.core.tasks import NCALabelLayer
-from repro.core.swap import MalleableTreeProtocol
-from repro.graphs import caterpillar_graph, path_graph, random_tree_graph, star_graph
-from repro.labeling.nca import NCALabeling
-from repro.labeling.nca_pls import NCAPLS
-from repro.runtime import ComposedProtocol, Simulator, SynchronousScheduler
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-SHAPES = [
-    ("path", lambda n, s: path_graph(n, seed=s)),
-    ("star", lambda n, s: star_graph(n, seed=s)),
-    ("caterpillar", lambda n, s: caterpillar_graph(max(2, n // 3), 2, seed=s)),
-    ("random", lambda n, s: random_tree_graph(n, seed=s)),
-]
+from repro.analysis import fit_log_exponent
+from repro.experiments import get_campaign, render_experiment, run_campaign
 
+SHAPES = ("path", "star", "caterpillar", "random")
 SIZES = (16, 64, 256)
 
 
 def run_exp_l51():
-    rows = []
-    for shape, make in SHAPES:
-        ns, bits_series = [], []
-        for n in SIZES:
-            net = make(n, 7)
-            tree = bfs_tree(net)
-            scheme = NCALabeling(net, tree)
-            # correctness on a sample of pairs
-            nodes = list(net.nodes)
-            for i in range(0, len(nodes), max(1, len(nodes) // 8)):
-                for j in range(0, len(nodes), max(1, len(nodes) // 8)):
-                    assert scheme.nca(nodes[i], nodes[j]) == tree.nca(nodes[i], nodes[j])
-            pls_bits = NCAPLS().max_label_bits(net, NCAPLS().prove(net, tree))
-            ns.append(net.n)
-            bits_series.append(scheme.max_encoded_bits())
-            rows.append((shape, net.n, scheme.max_encoded_bits(), pls_bits,
-                         f"{scheme.max_encoded_bits() / math.log2(net.n):.1f}"))
-        exp = fit_log_exponent(ns, bits_series)
-        assert exp <= 2.2, (shape, exp)
+    records = run_campaign(get_campaign("nca"))
     print()
-    print(format_table(
-        "EXP-L51: NCA labels (ref [6]) + PLS certificates (Lemma 5.1)",
-        ["shape", "n", "label bits (GM wire)", "PLS cert bits",
-         "label bits / log2 n"],
-        rows))
-    return rows
+    print(render_experiment("EXP-L51", records))
+    return records
 
 
-def run_distributed_build():
-    rows = []
-    for n in (8, 16, 32):
-        net = random_tree_graph(n, seed=8)
-        tree = bfs_tree(net)
-        proto = ComposedProtocol([MalleableTreeProtocol(), NCALabelLayer()],
-                                 name="tree+nca")
-        base = MalleableTreeProtocol().legal_configuration(net, tree)
-        cfg = proto.initial_configuration(net)
-        for v in net.nodes:
-            cfg[v].update(base[v])
-        sim = Simulator(net, proto, SynchronousScheduler(), config=cfg)
-        result = sim.run(max_rounds=20 * n)
-        assert result.silent
-        assert NCALabelLayer.labels_ok(net, sim.config, tree)
-        rows.append((n, result.rounds))
-    print()
-    print(format_table(
-        "EXP-L51: distributed NCA label construction (rounds, O(n) claim)",
-        ["n", "rounds"], rows))
-    return rows
+def _size_records(records):
+    return [r for r in records
+            if r["spec"]["analysis"] == "nca-label-sizes"]
+
+
+def check_label_sizes(records):
+    """The claim: O(log n)-bit labels on every adversarial shape."""
+    sizes = _size_records(records)
+    assert len(sizes) == len(SHAPES) * len(SIZES)
+    for shape in SHAPES:
+        series = [(r["metrics"]["n"], r["metrics"]["label_bits"])
+                  for r in sizes if r["metrics"]["shape"] == shape]
+        series.sort()
+        exp = fit_log_exponent([n for n, _ in series],
+                               [b for _, b in series])
+        assert exp <= 2.2, (shape, exp)  # O(log n) labels
+
+
+def check_distributed_construction(records):
+    """The claim: correct labels built distributedly in O(n) rounds."""
+    builds = [r for r in records if r["spec"]["protocol"] == "nca-build"]
+    assert len(builds) == 3
+    for r in builds:
+        assert r["metrics"]["silent"] and r["metrics"]["labels_ok"], r["spec"]
+    assert builds[-1]["metrics"]["rounds"] <= 6 * 32  # O(n) rounds
 
 
 def test_exp_l51_label_sizes(once):
-    rows = once(run_exp_l51)
-    assert len(rows) == len(SHAPES) * len(SIZES)
+    check_label_sizes(once(run_exp_l51))
 
 
 def test_exp_l51_distributed_construction(once):
-    rows = once(run_distributed_build)
-    assert rows[-1][1] <= 6 * 32
+    check_distributed_construction(once(run_exp_l51))
+
+
+if __name__ == "__main__":
+    records = run_exp_l51()
+    check_label_sizes(records)
+    check_distributed_construction(records)

@@ -1,23 +1,22 @@
 """Shared helpers for the benchmark harness.
 
-Every bench regenerates one experiment of EXPERIMENTS.md and prints the
-table/series the paper's corresponding claim is checked against.  Runs are
-deterministic, so each measurement executes once per benchmark round.
+Every bench regenerates one experiment of EXPERIMENTS.md by running its
+campaign (declared in :mod:`repro.experiments.campaigns`) and printing
+the table/series the paper's corresponding claim is checked against.
+Runs are deterministic, so each measurement executes once per benchmark
+round.
 """
 
 import pytest
 
-from repro.core.swap import MalleableTreeProtocol
+from repro.experiments import tree_seeded_config
 
 
 def seeded_config(net, proto, tree):
     """A configuration with the tree layer legal on ``tree`` and task-layer
-    defaults (the standard starting point for improvement measurements)."""
-    base = MalleableTreeProtocol().legal_configuration(net, tree)
-    cfg = proto.initial_configuration(net)
-    for v in net.nodes:
-        cfg[v].update(base[v])
-    return cfg
+    defaults (now canonical as
+    :func:`repro.experiments.registry.tree_seeded_config`)."""
+    return tree_seeded_config(net, proto, tree)
 
 
 @pytest.fixture

@@ -1,0 +1,61 @@
+"""Driving the campaign CLI end to end: run, resume, status, report.
+
+The experiment subsystem's unit of work is a *campaign*: a declarative
+grid of runs with deterministic per-run seeds, fanned out over a process
+pool and persisted in a resumable JSONL store.  This script exercises the
+real command line (``python -m repro``) the way CI and a scaling sweep
+would:
+
+1. run the multi-protocol smoke campaign with 2 workers;
+2. run it again — every run is cached by its fingerprint (0 executed);
+3. show per-experiment completion (``campaign status``);
+4. render the report from the store alone, in markdown.
+
+    python examples/campaign_sweep.py
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def cli(*args: str, env_dir: str) -> str:
+    cmd = [sys.executable, "-m", "repro", *args]
+    proc = subprocess.run(
+        cmd, cwd=env_dir, capture_output=True, text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"})
+    print(f"$ python -m repro {' '.join(args)}")
+    sys.stdout.write(proc.stdout)
+    if proc.returncode not in (0, 1):  # status exits 1 while pending
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"command failed with {proc.returncode}")
+    return proc.stdout
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = "smoke.jsonl"
+        print("== 1. parallel campaign run ==")
+        out = cli("campaign", "run", "--smoke", "--workers", "2",
+                  "--store", store, env_dir=tmp)
+        assert "12 executed" in out
+
+        print("\n== 2. rerun: resumed, nothing re-executed ==")
+        out = cli("campaign", "run", "--smoke", "--store", store,
+                  env_dir=tmp)
+        assert "0 executed, 12 cached" in out
+
+        print("\n== 3. status ==")
+        cli("campaign", "status", "--smoke", "--store", store, env_dir=tmp)
+
+        print("\n== 4. report, straight from the store ==")
+        cli("campaign", "report", "--smoke", "--store", store,
+            "--format", "markdown", env_dir=tmp)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

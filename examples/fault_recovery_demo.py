@@ -11,8 +11,17 @@ sides:
 2. an actual fault (a corrupted parent pointer creating a cycle): the
    verifier pinpoints rejecting nodes, and the distributed layer rebuilds.
 
+The random-fault ladder version of part 2 (k faults on the stabilized
+guided-BFS instance, recovery effort per k) is the ``silence`` campaign:
+``python -m repro campaign run --campaign silence``.
+
     python examples/fault_recovery_demo.py
 """
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import bfs_tree
 from repro.core.swap import MalleableTreeProtocol, tree_of_config
@@ -66,6 +75,8 @@ def main() -> None:
     print(f"healed in {result.rounds} rounds; silent: {result.silent}; "
           f"root: {healed.root}")
     assert result.silent and proto.is_legal(net, sim.config)
+    print("the k-fault recovery ladder: "
+          "python -m repro campaign run --campaign silence")
     print("OK")
 
 

@@ -5,52 +5,52 @@ tree, a node's degree bounds the number of children it must schedule —
 high-degree coordinators are bottlenecks.  A spanning tree whose maximum
 degree is within +1 of the optimum spreads the load.
 
-This script takes a dense deployment whose natural (BFS) tree is a
-terrible star, runs the silent FR-tree protocol, and reports the degree
-reduction plus the O(log n)-bit certificates that keep it verified.
+The deployment is declared as an :class:`~repro.experiments.ExperimentSpec`
+on a dense (complete) graph whose natural BFS tree is a terrible star; the
+campaign runner executes the silent FR-tree protocol and records the
+degree reduction plus the O(log n)-bit certificates that keep it verified.
 
     python examples/mdst_mac_80215.py
 """
 
-from repro.baselines import exact_minimum_degree
-from repro.core import bfs_tree
-from repro.core.fr import fr_marking
-from repro.core.swap import MalleableTreeProtocol, tree_of_config
-from repro.core.tasks import guided_mdst_protocol
-from repro.graphs import complete_graph
-from repro.labeling.fr_pls import FRTreePLS
-from repro.runtime import Simulator
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.swap import tree_of_config
+from repro.experiments import ExperimentSpec, execute
+
+SPEC = ExperimentSpec(
+    experiment="EXP-MAC",
+    protocol="guided-mdst",
+    topology="complete", topo_params={"n": 9, "seed": 2},
+    scheduler="synchronous",
+    init="bfs-tree",  # in a dense deployment this is a star
+)
 
 
 def main() -> None:
-    net = complete_graph(9, seed=2)
-    start = bfs_tree(net)  # in a dense deployment this is a star
-    print(f"deployment: n={net.n} (dense), "
+    record, context = execute(SPEC, root_seed=0)
+    net, sim = context["net"], context["simulator"]
+    start = context["start_tree"]
+    m = record["metrics"]
+
+    print(f"deployment: n={m['n']} (dense), "
           f"naive coordinator tree degree: {start.max_degree()}")
-
-    proto = guided_mdst_protocol()
-    base = MalleableTreeProtocol().legal_configuration(net, start)
-    cfg = proto.initial_configuration(net)
-    for v in net.nodes:
-        cfg[v].update(base[v])
-
-    sim = Simulator(net, proto, config=cfg)
-    result = sim.run(max_rounds=20_000 * net.n)
-    tree = tree_of_config(net, sim.config)
-    marking = fr_marking(net, tree)
-    opt = exact_minimum_degree(net)
-
-    print(f"stabilized in {result.rounds} rounds, silent: {result.silent}")
-    print(f"FR-tree degree: {tree.max_degree()} "
+    print(f"declared scenario: {SPEC.label}")
+    print(f"stabilized in {m['rounds']} rounds, silent: {m['silent']}")
+    opt = m["opt_degree"]
+    print(f"FR-tree degree: {m['tree_degree']} "
           f"(optimum: {opt}, guarantee: <= OPT + 1 = {opt + 1})")
-    print(f"FR-tree verified: {marking.is_fr}")
-
-    pls = FRTreePLS()
-    bits = pls.max_label_bits(net, pls.prove(net, tree, marking))
-    print(f"per-node certificate: {bits} bits (Theta(log n), "
+    print(f"FR-tree verified: {m['is_fr']}")
+    print(f"per-node certificate: {m['cert_bits']} bits (Theta(log n), "
           f"vs Omega(n log n) for the prior non-silent algorithm [16])")
 
-    assert marking.is_fr and tree.max_degree() <= opt + 1
+    tree = tree_of_config(net, sim.config)
+    assert m["is_fr"] and m["tree_degree"] <= opt + 1
+    assert tree.max_degree() == m["tree_degree"]
+    print("the full comparison: python -m repro campaign run --campaign mdst")
     print("OK")
 
 

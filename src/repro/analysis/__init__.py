@@ -1,6 +1,6 @@
 """Experiment harness shared by ``benchmarks/`` (tables, fits, runners)."""
 
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_csv, format_table
 from repro.analysis.fitting import fit_log_exponent, growth_ratios
 
-__all__ = ["format_table", "fit_log_exponent", "growth_ratios"]
+__all__ = ["format_table", "format_csv", "fit_log_exponent", "growth_ratios"]

@@ -1,26 +1,97 @@
-"""ASCII tables printed by the benchmark harness.
+"""Tables printed by the benchmark harness and the campaign reports.
 
 Every bench regenerates its experiment's table in the same rows/series
 form the paper's claims take (see EXPERIMENTS.md); these helpers keep the
-output uniform and diffable.
+output uniform and diffable.  Three emitters share one row model:
+
+* :func:`format_table` — fixed-width ASCII (``markdown=True`` switches to
+  a GitHub-flavored pipe table, pasteable into docs);
+* :func:`format_csv` — RFC-4180-ish CSV, diffable in CI.
+
+Numeric columns (every body cell an int/float or a numeric-looking string
+such as ``53,987`` or ``1.05x``) are right-aligned so magnitude comparisons
+read down the column.
 """
 
 from __future__ import annotations
 
+import re
 from collections.abc import Sequence
 
-__all__ = ["format_table"]
+__all__ = ["format_table", "format_csv"]
+
+#: Strings that should line up like numbers: plain/grouped decimals with an
+#: optional unit suffix the benches use (``x`` for speedups, ``%``).
+_NUMERIC_RE = re.compile(r"^-?[\d,]+(\.\d+)?\s*[x%]?$")
+
+
+def _is_numeric_cell(value: object) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    return isinstance(value, str) and bool(_NUMERIC_RE.match(value.strip()))
+
+
+def _numeric_columns(rows: Sequence[Sequence[object]], width: int) -> list[bool]:
+    """Per column: right-align iff every non-empty body cell is numeric."""
+    numeric = [bool(rows) for _ in range(width)]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i >= width:
+                break
+            if cell in ("", "-", None):
+                continue  # placeholders don't decide alignment
+            if not _is_numeric_cell(cell):
+                numeric[i] = False
+    return numeric
 
 
 def format_table(title: str, headers: Sequence[str],
-                 rows: Sequence[Sequence[object]]) -> str:
-    """A fixed-width table with a title rule."""
+                 rows: Sequence[Sequence[object]],
+                 markdown: bool = False) -> str:
+    """A table with a title rule: fixed-width ASCII or GitHub markdown."""
     cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
-    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    widths = [max(len(r[i]) if i < len(r) else 0 for r in cells)
+              for i in range(len(headers))]
+    numeric = _numeric_columns(rows, len(headers))
+
+    def fmt(row: list[str]) -> list[str]:
+        return [
+            (c.rjust(w) if numeric[i] else c.ljust(w))
+            for i, (c, w) in enumerate(zip(row, widths))
+        ]
+
+    if markdown:
+        lines = [f"**{title}**", ""]
+        lines.append("| " + " | ".join(fmt(cells[0])) + " |")
+        lines.append("|" + "|".join(
+            ("-" * (w + 1) + ":") if numeric[i] else ("-" * (w + 2))
+            for i, w in enumerate(widths)) + "|")
+        for row in cells[1:]:
+            lines.append("| " + " | ".join(fmt(row)) + " |")
+        return "\n".join(lines)
+
     sep = "-+-".join("-" * w for w in widths)
     lines = [f"== {title} =="]
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(" | ".join(fmt(cells[0])))
     lines.append(sep)
     for row in cells[1:]:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(fmt(row)))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str],
+               rows: Sequence[Sequence[object]]) -> str:
+    """The same row model as CSV (quoted only where needed)."""
+
+    def quote(value: object) -> str:
+        s = str(value)
+        if any(ch in s for ch in ",\"\n"):
+            return '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(quote(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(quote(c) for c in row))
     return "\n".join(lines)

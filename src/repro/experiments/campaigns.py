@@ -1,0 +1,245 @@
+"""Named campaigns: the experiment registry of EXPERIMENTS.md as data.
+
+Each builder returns a :class:`~repro.experiments.spec.Campaign` whose
+specs regenerate one experiment family (one former ``benchmarks/bench_*``
+table).  The CLI exposes them by name (``python -m repro campaign run
+--campaign mst``); the benchmark scripts declare themselves in terms of
+these builders, so a bench's pytest smoke entry point and a CLI campaign
+run execute byte-identical specs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.spec import Campaign, ExperimentSpec, grid
+from repro.runtime.scheduler import ALL_SCHEDULER_FACTORIES
+
+__all__ = ["CAMPAIGNS", "get_campaign", "experiment_subset",
+           "EXCLUDED_DAEMONS"]
+
+#: The deterministic max-id adversary can starve a node holding a stale
+#: root claim and use it to re-infect its neighborhood forever — the
+#: classical unfair-daemon election subtlety the paper sidesteps by
+#: delegating construction to ref [25] (see EXPERIMENTS.md, EXP-SCHED).
+EXCLUDED_DAEMONS: dict[tuple[str, str], str] = {
+    ("malleable-tree", "central-max-id"): "see [25] note",
+}
+
+
+def smoke(root_seed: int = 0) -> Campaign:
+    """A tiny multi-protocol grid: the CI resume/parallelism canary."""
+    topologies = [("ring", {"n": 6, "seed": 1}),
+                  ("random", {"n": 8, "seed": 2})]
+    specs = [
+        ExperimentSpec(experiment="EXP-SMOKE", protocol=c["protocol"],
+                       topology=c["topology"][0], topo_params=c["topology"][1],
+                       scheduler=c["scheduler"], init="arbitrary")
+        for c in grid(protocol=["sst", "malleable-tree"],
+                      topology=topologies,
+                      scheduler=["synchronous", "central-random"])
+    ]
+    specs += [
+        ExperimentSpec(experiment="EXP-SMOKE", protocol="guided-bfs",
+                       topology=name, topo_params=params,
+                       scheduler="synchronous", init="arbitrary")
+        for name, params in topologies
+    ]
+    specs.append(ExperimentSpec(
+        experiment="EXP-SMOKE", protocol="sst", topology="ring",
+        topo_params={"n": 6, "seed": 1}, scheduler="synchronous",
+        init="arbitrary", faults=2))
+    specs.append(ExperimentSpec(
+        experiment="EXP-SMOKE", protocol="sst", topology="random",
+        topo_params={"n": 8, "seed": 2}, scheduler="central-random",
+        init="arbitrary", replicate=1))
+    return Campaign("smoke", "multi-protocol smoke grid", tuple(specs),
+                    root_seed)
+
+
+def engine(root_seed: int = 0, n: int = 48) -> Campaign:
+    """EXP-ENGINE: SST throughput under every daemon on three topologies."""
+    rows = max(2, int(n ** 0.5))
+    cols = max(2, n // rows)
+    topologies = [("ring", {"n": n, "seed": 1}),
+                  ("grid", {"rows": rows, "cols": cols, "seed": 1}),
+                  ("random", {"n": n, "seed": 42})]
+    specs = [
+        ExperimentSpec(experiment="EXP-ENGINE", protocol="sst",
+                       topology=name, topo_params=params,
+                       scheduler=sched, init="arbitrary",
+                       init_params={"seed": 7}, max_rounds=2_000_000)
+        for name, params in topologies
+        for sched in sorted(ALL_SCHEDULER_FACTORIES)
+    ]
+    return Campaign("engine", f"incremental engine throughput (n~{n})",
+                    tuple(specs), root_seed)
+
+
+def schedulers(root_seed: int = 0) -> Campaign:
+    """EXP-SCHED: stabilization under every daemon, arbitrary init."""
+    specs = []
+    for proto in ("sst", "malleable-tree"):
+        for sched in sorted(ALL_SCHEDULER_FACTORIES):
+            specs.append(ExperimentSpec(
+                experiment="EXP-SCHED", protocol=proto,
+                topology="random", topo_params={"n": 12, "seed": 12},
+                scheduler=sched, init="arbitrary", init_params={"seed": 13},
+                max_rounds=50_000,
+                skip=EXCLUDED_DAEMONS.get((proto, sched), "")))
+    return Campaign("schedulers", "stabilization under every daemon",
+                    tuple(specs), root_seed)
+
+
+def silence(root_seed: int = 0) -> Campaign:
+    """EXP-SIL: silence certification and the k-fault recovery ladder."""
+    specs = [
+        ExperimentSpec(experiment="EXP-SIL", protocol="guided-bfs",
+                       topology="random", topo_params={"n": 12, "seed": 11},
+                       scheduler="synchronous", init="dfs-tree",
+                       faults=k, max_rounds=96_000)
+        for k in (0, 1, 2, 4, 8)
+    ]
+    return Campaign("silence", "silence and k-fault recovery",
+                    tuple(specs), root_seed)
+
+
+def bfs(root_seed: int = 0) -> Campaign:
+    """EXP-T3: PLS-guided BFS (Thm 3.1) vs the ad hoc baseline."""
+    cases = [("ring", {"n": 8, "seed": 3}),
+             ("ring", {"n": 16, "seed": 3}),
+             ("grid", {"rows": 3, "cols": 4, "seed": 4}),
+             ("lollipop", {"clique_size": 4, "tail_len": 6, "seed": 5})]
+    specs = []
+    for name, params in cases:
+        specs.append(ExperimentSpec(
+            experiment="EXP-T3", protocol="guided-bfs", topology=name,
+            topo_params=params, scheduler="synchronous", init="dfs-tree"))
+        specs.append(ExperimentSpec(
+            experiment="EXP-T3", protocol="adhoc-bfs", topology=name,
+            topo_params=params, scheduler="synchronous", init="defaults"))
+    return Campaign("bfs", "guided BFS vs ad hoc baseline",
+                    tuple(specs), root_seed)
+
+
+def mst(root_seed: int = 0, sizes: tuple[int, ...] = (8, 12, 16, 20)
+        ) -> Campaign:
+    """EXP-T1: silent MST vs the compact non-silent baseline."""
+    specs = []
+    for n in sizes:
+        topo = {"n": n, "seed": n, "weighted": True}
+        specs.append(ExperimentSpec(
+            experiment="EXP-T1", protocol="guided-mst", topology="random",
+            topo_params=topo, scheduler="synchronous", init="random-tree",
+            init_params={"seed": 1}))
+        specs.append(ExperimentSpec(
+            experiment="EXP-T1", protocol="compact-mst", topology="random",
+            topo_params=topo, scheduler="synchronous", init="defaults",
+            stop="legal", max_rounds=40))
+    return Campaign("mst", "silent MST headline", tuple(specs), root_seed)
+
+
+def mdst(root_seed: int = 0, sizes: tuple[int, ...] = (8, 10, 12)
+         ) -> Campaign:
+    """EXP-T2: silent near-MDST vs the Omega(n log n) baseline."""
+    specs = []
+    for n in sizes:
+        topo = {"n": n, "extra_edges": 2 * n, "seed": n}
+        specs.append(ExperimentSpec(
+            experiment="EXP-T2", protocol="guided-mdst", topology="random",
+            topo_params=topo, scheduler="synchronous", init="random-tree",
+            init_params={"seed": 2}))
+        specs.append(ExperimentSpec(
+            experiment="EXP-T2", protocol="bgr-mdst", topology="random",
+            topo_params=topo, scheduler="synchronous", init="defaults",
+            stop="legal", max_rounds=30))
+    return Campaign("mdst", "silent near-MDST headline",
+                    tuple(specs), root_seed)
+
+
+def nca(root_seed: int = 0) -> Campaign:
+    """EXP-L51: NCA label sizes + the distributed label construction."""
+    specs = [
+        ExperimentSpec(experiment="EXP-L51", analysis="nca-label-sizes",
+                       analysis_params={"shape": c["shape"], "n": c["n"],
+                                        "seed": 7})
+        for c in grid(shape=["path", "star", "caterpillar", "random"],
+                      n=[16, 64, 256])
+    ]
+    specs += [
+        ExperimentSpec(experiment="EXP-L51", protocol="nca-build",
+                       topology="random-tree", topo_params={"n": n, "seed": 8},
+                       scheduler="synchronous", init="bfs-tree",
+                       max_rounds=20 * n)
+        for n in (8, 16, 32)
+    ]
+    return Campaign("nca", "NCA labels and certificates (Lemma 5.1)",
+                    tuple(specs), root_seed)
+
+
+def structure(root_seed: int = 0) -> Campaign:
+    """EXP-L41 / EXP-ABL / EXP-F2 / EXP-P81: the structural analyses."""
+    specs = [
+        ExperimentSpec(experiment="EXP-L41", analysis="local-switch",
+                       analysis_params={"n": n, "seed": 6})
+        for n in (8, 16, 32)
+    ]
+    specs.append(ExperimentSpec(
+        experiment="EXP-ABL", analysis="switch-ablation",
+        analysis_params={"n": 14, "seed": 13}))
+    specs.append(ExperimentSpec(
+        experiment="EXP-F2", analysis="boruvka-fragments",
+        analysis_params={"n": 12, "seed": 9, "tree_seed": 10}))
+    specs.append(ExperimentSpec(
+        experiment="EXP-P81", analysis="fr-subclass",
+        analysis_params={"n": 8, "graphs": 25, "trees": 4,
+                         "extra_edges": 6}))
+    return Campaign("structure", "switch/ablation/fragment/FR analyses",
+                    tuple(specs), root_seed)
+
+
+def full(root_seed: int = 0) -> Campaign:
+    """Every campaign above, in one sweep."""
+    parts = [schedulers, silence, bfs, mst, mdst, nca, structure, engine]
+    specs: list[ExperimentSpec] = []
+    for part in parts:
+        specs.extend(part(root_seed).specs)
+    return Campaign("full", "all experiment families", tuple(specs),
+                    root_seed)
+
+
+CAMPAIGNS: dict[str, Callable[..., Campaign]] = {
+    "smoke": smoke,
+    "engine": engine,
+    "schedulers": schedulers,
+    "silence": silence,
+    "bfs": bfs,
+    "mst": mst,
+    "mdst": mdst,
+    "nca": nca,
+    "structure": structure,
+    "full": full,
+}
+
+
+def experiment_subset(campaign: Campaign, experiment: str) -> Campaign:
+    """The sub-campaign holding one experiment family.
+
+    Fingerprints depend only on (spec, root seed), so a subset shares its
+    parent's store entries — a bench can run just its own family against
+    the store a full campaign already filled.
+    """
+    specs = tuple(s for s in campaign.specs if s.experiment == experiment)
+    if not specs:
+        raise KeyError(f"campaign {campaign.name!r} has no specs for "
+                       f"{experiment!r}")
+    return Campaign(f"{campaign.name}:{experiment}", campaign.title, specs,
+                    campaign.root_seed)
+
+
+def get_campaign(name: str, root_seed: int = 0) -> Campaign:
+    if name not in CAMPAIGNS:
+        raise KeyError(
+            f"unknown campaign {name!r} "
+            f"(known: {', '.join(sorted(CAMPAIGNS))})")
+    return CAMPAIGNS[name](root_seed)

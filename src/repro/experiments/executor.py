@@ -1,0 +1,91 @@
+"""Parallel campaign execution over a multiprocessing pool.
+
+Correctness model:
+
+* every run's randomness is derived from ``(root_seed, fingerprint)`` by
+  the runner, so records are bit-identical (minus wall-clock timing)
+  regardless of worker count or completion order;
+* results are appended to the store in **campaign order** (``imap``
+  preserves submission order), so two stores produced with different
+  ``workers`` hold the same lines in the same order;
+* runs whose fingerprint is already stored are skipped — resuming an
+  interrupted campaign never repeats completed work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable
+from typing import Any
+
+from repro.experiments import runner
+from repro.experiments.spec import Campaign, ExperimentSpec
+from repro.experiments.store import ResultStore
+
+__all__ = ["run_campaign"]
+
+
+def _pool_worker(task: tuple[dict[str, Any], int]) -> dict[str, Any]:
+    """Top-level (picklable) pool entry point."""
+    spec_dict, root_seed = task
+    return runner.run_spec(ExperimentSpec.from_dict(spec_dict), root_seed)
+
+
+def _pool_context():
+    # fork keeps sys.path and imported modules; spawn would re-import
+    # __main__ (hazardous under ``python -m repro``) and lose PYTHONPATH
+    # tweaks made at runtime.  Windows has no fork; fall back.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: ResultStore | None = None,
+    workers: int = 1,
+    max_runs: int | None = None,
+    progress: Callable[[int, int, dict[str, Any]], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Execute every not-yet-stored spec of ``campaign``.
+
+    Returns the records of **all** campaign specs present in the store
+    afterwards, in campaign order (completed earlier or just now).  With
+    ``max_runs`` the campaign stops after that many new runs — the
+    hook interruption/resume tests and ``--max-runs`` use to simulate and
+    bound partial campaigns.
+    """
+    store = store if store is not None else ResultStore(None)
+    done = store.by_fingerprint()
+    todo: list[tuple[ExperimentSpec, str]] = []
+    for spec, fp in zip(campaign.specs, campaign.fingerprints()):
+        if fp not in done:
+            todo.append((spec, fp))
+    if max_runs is not None:
+        todo = todo[:max_runs]
+
+    total = len(todo)
+    completed = 0
+
+    def _store(record: dict[str, Any]) -> None:
+        nonlocal completed
+        completed += 1
+        store.append(record)
+        if progress is not None:
+            progress(completed, total, record)
+
+    if workers > 1 and total > 1:
+        ctx = _pool_context()
+        tasks = [(spec.to_dict(), campaign.root_seed) for spec, _ in todo]
+        with ctx.Pool(processes=min(workers, total)) as pool:
+            # imap (not imap_unordered): store lines land in campaign
+            # order, making the store file itself worker-count-invariant
+            for record in pool.imap(_pool_worker, tasks, chunksize=1):
+                _store(record)
+    else:
+        for spec, _ in todo:
+            _store(runner.run_spec(spec, campaign.root_seed))
+
+    by_fp = store.by_fingerprint()
+    return [by_fp[fp] for fp in campaign.fingerprints() if fp in by_fp]

@@ -1,0 +1,147 @@
+"""Executing one spec: network, protocol, daemon, run, measurements.
+
+The runner is the only bridge between the declarative model and the
+runtime.  Each run derives its own named RNG streams (topology, init,
+scheduler, faults, analysis) from ``(root_seed, fingerprint)`` via
+:func:`~repro.experiments.spec.spawn_rng`, and never touches module-level
+RNG state — so a record is a pure function of ``(spec, root_seed)``,
+bit-identical whether it was computed serially, on a pool worker, or in a
+resumed campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.experiments.analyses import run_analysis
+from repro.experiments.registry import (
+    SCHEDULERS,
+    build_config,
+    build_network,
+    build_protocol,
+)
+from repro.experiments.spec import ExperimentSpec, derive_seed, spawn_rng
+from repro.runtime.faults import inject_random_faults
+from repro.runtime.metrics import max_register_bits, total_register_bits
+from repro.runtime.simulator import Simulator
+
+__all__ = ["execute", "run_spec", "RECORD_VERSION", "canonical_record"]
+
+#: Bump when the record schema changes incompatibly; reports may branch.
+RECORD_VERSION = 1
+
+#: Fields excluded from determinism comparisons (wall-clock noise).
+VOLATILE_KEYS = ("timing",)
+
+
+def canonical_record(record: dict[str, Any]) -> dict[str, Any]:
+    """The record minus volatile fields — the bit-identical part."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_KEYS}
+
+
+def _legality(proto, net, config):
+    """Protocol legality as a JSON value: True/False, or None when the
+    protocol defines no predicate."""
+    try:
+        return bool(proto.is_legal(net, config))
+    except NotImplementedError:
+        return None
+
+
+def execute(spec: ExperimentSpec, root_seed: int = 0
+            ) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Run one spec; returns ``(record, context)``.
+
+    ``record`` is the JSON-plain summary persisted by the store.
+    ``context`` holds live objects (network, simulator, start tree) for
+    in-process callers — examples and benches that want to poke the final
+    configuration; it never crosses a process boundary.
+    """
+    fp = spec.fingerprint(root_seed)
+    base: dict[str, Any] = {
+        "version": RECORD_VERSION,
+        "fingerprint": fp,
+        "root_seed": root_seed,
+        "experiment": spec.experiment,
+        "spec": spec.to_dict(),
+    }
+    if spec.skip:
+        base["metrics"] = {"skipped": spec.skip}
+        base["timing"] = {"wall_seconds": 0.0, "run_seconds": 0.0}
+        return base, {}
+
+    t0 = time.perf_counter()
+    if spec.analysis:
+        metrics = run_analysis(spec.analysis,
+                               spawn_rng(root_seed, fp, "analysis"),
+                               spec.analysis_args)
+        elapsed = time.perf_counter() - t0
+        base["metrics"] = dict(metrics)
+        base["timing"] = {"wall_seconds": elapsed, "run_seconds": elapsed}
+        return base, {}
+
+    net = build_network(spec.topology, spec.topo,
+                        spawn_rng(root_seed, fp, "topology"))
+    proto, entry = build_protocol(spec.protocol)
+    config, context = build_config(spec.init, net, proto,
+                                   spawn_rng(root_seed, fp, "init"),
+                                   spec.init_args)
+    scheduler = SCHEDULERS[spec.scheduler](
+        derive_seed(root_seed, fp, "scheduler"))
+    sim = Simulator(net, proto, scheduler, config=config,
+                    rng=spawn_rng(root_seed, fp, "faults"))
+    max_rounds = spec.max_rounds or 20_000 * net.n
+
+    run_t0 = time.perf_counter()
+    if spec.stop == "legal":
+        result = sim.run(max_rounds=max_rounds,
+                         stop_when=lambda nn, cfg: bool(proto.is_legal(nn, cfg)))
+    else:
+        result = sim.run(max_rounds=max_rounds)
+    run_seconds = time.perf_counter() - run_t0
+
+    metrics: dict[str, Any] = {"n": net.n, "m": net.m}
+    metrics.update(result.to_record())
+    metrics["legal"] = _legality(proto, net, sim.config)
+    metrics["max_register_bits"] = max_register_bits(net, sim.spec, sim.config)
+    metrics["total_register_bits"] = total_register_bits(net, sim.spec,
+                                                         sim.config)
+    if result.silent:
+        # a silent algorithm performs zero further moves: certify over a
+        # short observation window (cheap — the rounds are empty)
+        metrics["confirmed_silent"] = sim.confirm_silent(extra_rounds=2)
+
+    # task-level metrics describe the *stabilized* configuration the
+    # rounds/silent/legal columns above describe — before any injected
+    # faults mutate it (recovery may stabilize on a different legal tree)
+    if entry.extra_metrics is not None:
+        metrics.update(entry.extra_metrics(net, proto, sim, context))
+
+    if spec.faults:
+        stab_rounds, stab_moves = sim.rounds, sim.moves
+        victims = inject_random_faults(sim, spec.faults, seed=None)
+        run_t0 = time.perf_counter()
+        recovery = sim.run(max_rounds=max_rounds)
+        run_seconds += time.perf_counter() - run_t0
+        metrics["fault_victims"] = sorted(victims)
+        metrics["recovery_rounds"] = sim.rounds - stab_rounds
+        metrics["recovery_moves"] = sim.moves - stab_moves
+        metrics["recovered_silent"] = recovery.silent
+        metrics["recovered_legal"] = _legality(proto, net, sim.config)
+
+    base["metrics"] = metrics
+    # run_seconds: the simulator runs alone (throughput numbers divide by
+    # this); wall_seconds additionally includes topology/init construction
+    # and measurement overhead
+    base["timing"] = {"wall_seconds": time.perf_counter() - t0,
+                      "run_seconds": run_seconds}
+    context = dict(context)
+    context.update(net=net, protocol=proto, simulator=sim, result=result)
+    return base, context
+
+
+def run_spec(spec: ExperimentSpec, root_seed: int = 0) -> dict[str, Any]:
+    """The store-facing entry point: record only (picklable)."""
+    record, _ = execute(spec, root_seed)
+    return record

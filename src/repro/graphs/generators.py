@@ -6,7 +6,12 @@ never rely on identities being 1..n or on the root having a particular
 position; the paper only guarantees distinct ids in {1, ..., n^c}.
 
 All generators accept ``seed`` for reproducibility and ``weighted`` to attach
-pairwise-distinct random weights (needed by MST instances).
+pairwise-distinct random weights (needed by MST instances).  Alternatively an
+explicit ``rng`` (a :class:`random.Random`) may be passed, which takes
+precedence over ``seed`` and is consumed as a stream — the supported way for
+parallel experiment workers to generate topologies without ever touching
+shared module-level RNG state.  The ``seed`` path draws exactly the same
+values it always did, so historical instances are unchanged.
 """
 
 from __future__ import annotations
@@ -47,8 +52,10 @@ def _build(
     weighted: bool,
     scramble_ids: bool,
     n_bound: int | None = None,
+    rng: random.Random | None = None,
 ) -> Network:
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     ids = _scrambled_ids(n, rng, scramble_ids)
     edges = [UWEdge(ids[a], ids[b]) for a, b in index_edges]
     if weighted:
@@ -57,54 +64,60 @@ def _build(
 
 
 def ring(n: int, seed: int | None = 0, weighted: bool = False,
-         scramble_ids: bool = True) -> Network:
+         scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Cycle C_n."""
     if n < 3:
         raise ValueError("ring needs n >= 3")
     edges = [(i, (i + 1) % n) for i in range(n)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def path_graph(n: int, seed: int | None = 0, weighted: bool = False,
-               scramble_ids: bool = True) -> Network:
+               scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Path P_n."""
     if n < 1:
         raise ValueError("path needs n >= 1")
     edges = [(i, i + 1) for i in range(n - 1)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def complete_graph(n: int, seed: int | None = 0, weighted: bool = False,
-                   scramble_ids: bool = True) -> Network:
+                   scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Clique K_n."""
     if n < 1:
         raise ValueError("complete graph needs n >= 1")
     edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def star_graph(n: int, seed: int | None = 0, weighted: bool = False,
-               scramble_ids: bool = True) -> Network:
+               scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Star K_{1,n-1}: node 0 is the hub."""
     if n < 2:
         raise ValueError("star needs n >= 2")
     edges = [(0, i) for i in range(1, n)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def wheel_graph(n: int, seed: int | None = 0, weighted: bool = False,
-                scramble_ids: bool = True) -> Network:
+                scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Wheel: hub 0 plus cycle on the other n-1 nodes."""
     if n < 4:
         raise ValueError("wheel needs n >= 4")
     rim = list(range(1, n))
     edges = [(0, i) for i in rim]
     edges += [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def grid_graph(rows: int, cols: int, seed: int | None = 0, weighted: bool = False,
-               scramble_ids: bool = True) -> Network:
+               scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """rows x cols grid."""
     if rows < 1 or cols < 1:
         raise ValueError("grid needs rows, cols >= 1")
@@ -120,22 +133,27 @@ def grid_graph(rows: int, cols: int, seed: int | None = 0, weighted: bool = Fals
                 edges.append((idx(r, c), idx(r, c + 1)))
             if r + 1 < rows:
                 edges.append((idx(r, c), idx(r + 1, c)))
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def random_tree_graph(n: int, seed: int | None = 0, weighted: bool = False,
-                      scramble_ids: bool = True) -> Network:
+                      scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Uniform random labeled tree (random Prüfer-like attachment)."""
     if n < 1:
         raise ValueError("tree needs n >= 1")
-    rng = random.Random(seed)
-    edges = [(i, rng.randrange(i)) for i in range(1, n)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    # the seed path keeps its historical two-stream structure (one Random
+    # for the shape, a fresh Random(seed) inside _build for ids/weights);
+    # an injected rng is consumed as one continuous stream instead
+    r = rng if rng is not None else random.Random(seed)
+    edges = [(i, r.randrange(i)) for i in range(1, n)]
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def random_connected_graph(n: int, extra_edges: int | None = None,
                            seed: int | None = 0, weighted: bool = False,
-                           scramble_ids: bool = True) -> Network:
+                           scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Random connected graph: random spanning tree plus extra random edges.
 
     ``extra_edges`` defaults to ``n`` (average degree ~4), capped at the
@@ -143,14 +161,15 @@ def random_connected_graph(n: int, extra_edges: int | None = None,
     """
     if n < 1:
         raise ValueError("graph needs n >= 1")
-    rng = random.Random(seed)
-    edges = {UWEdge(i, rng.randrange(i)) for i in range(1, n)}
+    # see random_tree_graph for the seed-path / rng-path stream structure
+    r = rng if rng is not None else random.Random(seed)
+    edges = {UWEdge(i, r.randrange(i)) for i in range(1, n)}
     want = n if extra_edges is None else extra_edges
     max_extra = n * (n - 1) // 2 - len(edges)
     want = min(want, max_extra)
     while want > 0:
-        u = rng.randrange(n)
-        v = rng.randrange(n)
+        u = r.randrange(n)
+        v = r.randrange(n)
         if u == v:
             continue
         e = UWEdge(u, v)
@@ -158,11 +177,12 @@ def random_connected_graph(n: int, extra_edges: int | None = None,
             continue
         edges.add(e)
         want -= 1
-    return _build(n, sorted(edges), seed, weighted, scramble_ids)
+    return _build(n, sorted(edges), seed, weighted, scramble_ids, rng=rng)
 
 
 def lollipop_graph(clique_size: int, tail_len: int, seed: int | None = 0,
-                   weighted: bool = False, scramble_ids: bool = True) -> Network:
+                   weighted: bool = False, scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Clique with a path tail: stresses eccentric roots and long relabel waves."""
     if clique_size < 3 or tail_len < 1:
         raise ValueError("lollipop needs clique_size >= 3 and tail_len >= 1")
@@ -170,11 +190,12 @@ def lollipop_graph(clique_size: int, tail_len: int, seed: int | None = 0,
     edges = [(i, j) for i in range(clique_size) for j in range(i + 1, clique_size)]
     edges.append((clique_size - 1, clique_size))
     edges += [(clique_size + i, clique_size + i + 1) for i in range(tail_len - 1)]
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def caterpillar_graph(spine: int, legs_per_node: int, seed: int | None = 0,
-                      weighted: bool = False, scramble_ids: bool = True) -> Network:
+                      weighted: bool = False, scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Spine path with pendant legs: worst-case-ish for heavy-path labelings."""
     if spine < 1 or legs_per_node < 0:
         raise ValueError("caterpillar needs spine >= 1 and legs_per_node >= 0")
@@ -184,11 +205,12 @@ def caterpillar_graph(spine: int, legs_per_node: int, seed: int | None = 0,
         for _ in range(legs_per_node):
             edges.append((s, nxt))
             nxt += 1
-    return _build(nxt, edges, seed, weighted, scramble_ids)
+    return _build(nxt, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def hypercube_graph(dim: int, seed: int | None = 0, weighted: bool = False,
-                    scramble_ids: bool = True) -> Network:
+                    scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """d-dimensional hypercube (n = 2^d)."""
     if dim < 1:
         raise ValueError("hypercube needs dim >= 1")
@@ -199,11 +221,12 @@ def hypercube_graph(dim: int, seed: int | None = 0, weighted: bool = False,
             v = u ^ (1 << b)
             if u < v:
                 edges.append((u, v))
-    return _build(n, edges, seed, weighted, scramble_ids)
+    return _build(n, edges, seed, weighted, scramble_ids, rng=rng)
 
 
 def theta_graph(arm_lengths: Sequence[int], seed: int | None = 0,
-                weighted: bool = False, scramble_ids: bool = True) -> Network:
+                weighted: bool = False, scramble_ids: bool = True,
+           rng: random.Random | None = None) -> Network:
     """Two hub nodes joined by parallel internally-disjoint paths.
 
     A classic source of many distinct fundamental cycles sharing edges;
@@ -225,4 +248,4 @@ def theta_graph(arm_lengths: Sequence[int], seed: int | None = 0,
     # collapses them, so require at most one such arm.
     if sum(1 for a in arm_lengths if a == 1) > 1:
         raise ValueError("at most one arm of length 1 (no parallel edges)")
-    return _build(nxt, edges, seed, weighted, scramble_ids)
+    return _build(nxt, edges, seed, weighted, scramble_ids, rng=rng)

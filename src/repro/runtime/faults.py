@@ -67,14 +67,20 @@ def inject_faults(
 def inject_random_faults(
     sim: Simulator,
     k: int,
-    seed: int = 0,
+    seed: int | None = 0,
     field_names: Sequence[str] | None = None,
+    rng: random.Random | None = None,
 ) -> list[int]:
     """Corrupt ``k`` uniformly random nodes of a running simulator.
 
-    Returns the victims.  See :func:`inject_faults`.
+    Returns the victims.  See :func:`inject_faults`.  The adversary's
+    entropy comes from, in order of precedence: an explicit ``rng``, an
+    explicit ``seed``, or the simulator's own injected stream
+    (``sim.rng``); global module-level RNG state is never read, so
+    parallel campaign workers stay isolated.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = sim.rng if seed is None else random.Random(seed)
     k = min(k, sim.net.n)
     victims = rng.sample(list(sim.net.nodes), k)
     inject_faults(sim, victims, rng, field_names)
@@ -88,9 +94,14 @@ def corrupt_random_nodes(
     k: int,
     seed: int = 0,
     field_names: Sequence[str] | None = None,
+    rng: random.Random | None = None,
 ) -> tuple[Config, list[int]]:
-    """Corrupt ``k`` uniformly random nodes; returns (new config, victims)."""
-    rng = random.Random(seed)
+    """Corrupt ``k`` uniformly random nodes; returns (new config, victims).
+
+    An explicit ``rng`` takes precedence over ``seed``.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     k = min(k, net.n)
     victims = rng.sample(list(net.nodes), k)
     return corrupt_nodes(net, spec, config, victims, rng, field_names), victims

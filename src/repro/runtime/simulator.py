@@ -68,15 +68,35 @@ class RunResult:
         """Whether the run ended in a silent configuration."""
         return self.silent
 
+    def to_record(self) -> dict[str, object]:
+        """A JSON-serializable summary of this run (no trace).
+
+        This is the shape the experiment campaign store persists; keep the
+        keys stable — result files written by old campaigns must remain
+        readable by new reports.
+        """
+        return {
+            "rounds": self.rounds,
+            "moves": self.moves,
+            "silent": self.silent,
+            "stopped_by_predicate": self.stopped_by_predicate,
+            "invariant_violations": self.invariant_violations,
+        }
+
 
 def random_configuration(net: Network, protocol: Protocol,
-                         seed: int = 0) -> Config:
+                         seed: int = 0,
+                         rng: random.Random | None = None) -> Config:
     """An *arbitrary* configuration: every field of every register corrupted.
 
     This is the canonical starting point for self-stabilization tests: the
     adversary has written arbitrary (domain-valid) values everywhere.
+    An explicit ``rng`` takes precedence over ``seed``; module-level global
+    RNG state is never touched either way, so parallel campaign workers can
+    corrupt configurations without sharing streams.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     spec = protocol.register_spec(net)
     return {v: spec.corrupt_state(net, v, rng) for v in net.nodes}
 
@@ -92,10 +112,17 @@ class Simulator:
         config: Config | None = None,
         invariant: Callable[[Network, Config], bool] | None = None,
         record_trace: bool = False,
+        rng: random.Random | None = None,
     ) -> None:
         self.net = net
         self.protocol = protocol
         self.scheduler = scheduler or SynchronousScheduler()
+        #: the simulator's own entropy source, injectable so campaign
+        #: workers run on isolated streams.  The engine itself is
+        #: deterministic and never draws from it; it is the default stream
+        #: for adversarial helpers acting on this simulator (e.g.
+        #: :func:`repro.runtime.faults.inject_random_faults`).
+        self.rng = rng if rng is not None else random.Random(0)
         self.spec = protocol.register_spec(net)
         if config is None:
             self.config: Config = protocol.initial_configuration(net)

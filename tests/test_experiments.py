@@ -1,0 +1,339 @@
+"""The experiment campaign subsystem: specs, store, executor, CLI.
+
+Covers the contracts the orchestration layer is built on: stable
+fingerprints, JSONL round-trips with torn-tail tolerance, resume without
+duplicate work (including a simulated mid-campaign kill), bit-identical
+results for any worker count, and the real ``python -m repro`` CLI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    CAMPAIGNS,
+    Campaign,
+    ExperimentSpec,
+    ResultStore,
+    canonical_record,
+    execute,
+    experiment_subset,
+    get_campaign,
+    grid,
+    run_campaign,
+    run_spec,
+)
+from repro.experiments import runner
+from repro.experiments.campaigns import EXCLUDED_DAEMONS
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def tiny_campaign(root_seed: int = 0) -> Campaign:
+    specs = [
+        ExperimentSpec(experiment="EXP-TINY", protocol="sst",
+                       topology="ring", topo_params={"n": 6, "seed": 1},
+                       scheduler=sched, init="arbitrary", replicate=rep)
+        for sched in ("synchronous", "central-random")
+        for rep in (0, 1)
+    ]
+    specs.append(ExperimentSpec(
+        experiment="EXP-TINY", protocol="sst", topology="ring",
+        topo_params={"n": 6, "seed": 1}, scheduler="central-min-id",
+        init="arbitrary", skip="documented exclusion"))
+    specs.append(ExperimentSpec(
+        experiment="EXP-TINY-FAULTS", protocol="malleable-tree",
+        topology="random", topo_params={"n": 8, "seed": 2},
+        scheduler="synchronous", init="arbitrary", faults=2))
+    return Campaign("tiny", "executor test campaign", tuple(specs),
+                    root_seed)
+
+
+# ----------------------------------------------------------------------
+# spec model
+# ----------------------------------------------------------------------
+
+class TestSpec:
+    def test_fingerprint_ignores_param_order(self):
+        a = ExperimentSpec(experiment="E", protocol="sst", topology="ring",
+                           topo_params={"n": 6, "seed": 1})
+        b = ExperimentSpec(experiment="E", protocol="sst", topology="ring",
+                           topo_params={"seed": 1, "n": 6})
+        assert a == b
+        assert a.fingerprint(0) == b.fingerprint(0)
+
+    def test_fingerprint_sensitivity(self):
+        base = ExperimentSpec(experiment="E", protocol="sst",
+                              topology="ring", topo_params={"n": 6})
+        assert base.fingerprint(0) != base.fingerprint(1)  # root seed
+        bigger = ExperimentSpec(experiment="E", protocol="sst",
+                                topology="ring", topo_params={"n": 7})
+        assert base.fingerprint(0) != bigger.fingerprint(0)
+        rep = ExperimentSpec(experiment="E", protocol="sst",
+                             topology="ring", topo_params={"n": 6},
+                             replicate=1)
+        assert base.fingerprint(0) != rep.fingerprint(0)
+
+    def test_dict_round_trip(self):
+        spec = ExperimentSpec(experiment="E", protocol="guided-mst",
+                              topology="random",
+                              topo_params={"n": 8, "weighted": True},
+                              init="random-tree", init_params={"seed": 1},
+                              faults=3, stop="legal", max_rounds=40)
+        clone = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.fingerprint(5) == spec.fingerprint(5)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ExperimentSpec(experiment="E")  # neither protocol nor analysis
+        with pytest.raises(ValueError, match="exactly one"):
+            ExperimentSpec(experiment="E", protocol="sst",
+                           analysis="fr-subclass")
+        with pytest.raises(ValueError, match="stop"):
+            ExperimentSpec(experiment="E", protocol="sst", topology="ring",
+                           stop="whenever")
+
+    def test_grid_order_and_count(self):
+        combos = list(grid(a=[1, 2, 3], b=["x", "y"]))
+        assert len(combos) == 6
+        assert combos[0] == {"a": 1, "b": "x"}
+        assert combos[-1] == {"a": 3, "b": "y"}
+
+    def test_campaign_rejects_duplicate_runs(self):
+        spec = ExperimentSpec(experiment="E", protocol="sst",
+                              topology="ring", topo_params={"n": 6})
+        with pytest.raises(ValueError, match="duplicate"):
+            Campaign("dup", "dup", (spec, spec))
+
+    def test_experiment_subset_shares_fingerprints(self):
+        campaign = tiny_campaign()
+        sub = experiment_subset(campaign, "EXP-TINY-FAULTS")
+        assert len(sub) == 1
+        assert set(sub.fingerprints()) <= set(campaign.fingerprints())
+        with pytest.raises(KeyError):
+            experiment_subset(campaign, "EXP-NOPE")
+
+    def test_registered_campaigns_build(self):
+        for name in CAMPAIGNS:
+            campaign = get_campaign(name, root_seed=3)
+            assert len(campaign) > 0
+            assert campaign.root_seed == 3
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+
+class TestRunner:
+    def test_records_are_pure_functions_of_spec_and_seed(self):
+        spec = tiny_campaign().specs[0]
+        a, b = run_spec(spec, 0), run_spec(spec, 0)
+        assert canonical_record(a) == canonical_record(b)
+        assert canonical_record(a) != canonical_record(run_spec(spec, 1))
+
+    def test_skip_spec_is_recorded_not_executed(self):
+        spec = next(s for s in tiny_campaign().specs if s.skip)
+        record = run_spec(spec, 0)
+        assert record["metrics"] == {"skipped": "documented exclusion"}
+
+    def test_fault_spec_records_recovery(self):
+        spec = next(s for s in tiny_campaign().specs if s.faults)
+        record, context = execute(spec, 0)
+        m = record["metrics"]
+        assert m["silent"] and m["recovered_silent"]
+        assert len(m["fault_victims"]) == spec.faults
+        assert context["simulator"].is_silent()
+
+    def test_record_is_json_plain(self):
+        record = run_spec(tiny_campaign().specs[0], 0)
+        assert json.loads(json.dumps(record)) == record
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        records = [run_spec(s, 0) for s in tiny_campaign().specs[:2]]
+        for r in records:
+            store.append(r)
+        assert store.records() == records
+        assert store.fingerprints() == {r["fingerprint"] for r in records}
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        record = run_spec(tiny_campaign().specs[0], 0)
+        store.append(record)
+        newer = dict(record, metrics={"moves": -1})
+        store.append(newer)
+        assert len(store) == 1
+        assert store.by_fingerprint()[record["fingerprint"]] == newer
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        record = run_spec(tiny_campaign().specs[0], 0)
+        store.append(record)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"fingerprint": "dead, torn mid-wr')  # killed here
+        assert store.records() == [record]
+
+    def test_corrupt_middle_raises(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(run_spec(tiny_campaign().specs[0], 0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"fingerprint": "x"}) + "\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            store.records()
+
+    def test_canonical_strips_timing(self, tmp_path):
+        store = ResultStore(None)
+        record = run_spec(tiny_campaign().specs[0], 0)
+        store.append(record)
+        canon = store.canonical_records()[record["fingerprint"]]
+        assert "timing" not in canon and "metrics" in canon
+
+
+# ----------------------------------------------------------------------
+# executor: parallelism, resume, interruption
+# ----------------------------------------------------------------------
+
+class TestExecutor:
+    def test_worker_count_is_invisible(self, tmp_path):
+        campaign = tiny_campaign()
+        s1 = ResultStore(tmp_path / "w1.jsonl")
+        s2 = ResultStore(tmp_path / "w2.jsonl")
+        run_campaign(campaign, store=s1, workers=1)
+        run_campaign(campaign, store=s2, workers=3)
+        assert s1.canonical_records() == s2.canonical_records()
+        # even the line *order* matches: the store file is reproducible
+        fps1 = [r["fingerprint"] for r in s1.records()]
+        fps2 = [r["fingerprint"] for r in s2.records()]
+        assert fps1 == fps2 == campaign.fingerprints()
+
+    def test_resume_skips_completed_work(self, tmp_path, monkeypatch):
+        campaign = tiny_campaign()
+        store = ResultStore(tmp_path / "r.jsonl")
+        executed = []
+        real = runner.run_spec
+
+        def counting(spec, root_seed):
+            executed.append(spec.fingerprint(root_seed))
+            return real(spec, root_seed)
+
+        monkeypatch.setattr(runner, "run_spec", counting)
+        run_campaign(campaign, store=store, max_runs=2)
+        assert len(executed) == 2
+        records = run_campaign(campaign, store=store)
+        assert len(executed) == len(campaign)          # no duplicate work
+        assert len(records) == len(campaign)
+        assert len(set(executed)) == len(executed)
+        # a third pass is a no-op
+        run_campaign(campaign, store=store)
+        assert len(executed) == len(campaign)
+
+    def test_kill_mid_campaign_then_rerun(self, tmp_path):
+        campaign = tiny_campaign()
+        reference = ResultStore(tmp_path / "ref.jsonl")
+        run_campaign(campaign, store=reference)
+
+        # simulate a campaign killed mid-write: a prefix of completed
+        # records plus one torn line
+        path = tmp_path / "killed.jsonl"
+        with open(tmp_path / "ref.jsonl", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines[:3]) + "\n")
+            fh.write(lines[3][: len(lines[3]) // 2])  # torn tail
+
+        store = ResultStore(path)
+        records = run_campaign(campaign, store=store)
+        assert len(records) == len(campaign)
+        fps = [r["fingerprint"] for r in store.records()]
+        assert len(fps) == len(set(fps))               # no duplicates
+        # identical final report data, interruption or not
+        assert store.canonical_records() == reference.canonical_records()
+
+    def test_progress_callback(self):
+        seen = []
+        campaign = tiny_campaign()
+        run_campaign(campaign,
+                     progress=lambda done, total, rec:
+                     seen.append((done, total, rec["experiment"])))
+        assert len(seen) == len(campaign)
+        assert seen[-1][0] == seen[-1][1] == len(campaign)
+
+
+# ----------------------------------------------------------------------
+# campaign content sanity (fast families only)
+# ----------------------------------------------------------------------
+
+class TestCampaigns:
+    def test_smoke_campaign_is_multi_protocol(self):
+        campaign = get_campaign("smoke")
+        protocols = {s.protocol for s in campaign.specs}
+        assert {"sst", "malleable-tree", "guided-bfs"} <= protocols
+        records = run_campaign(campaign)
+        executed = [r for r in records if "skipped" not in r["metrics"]]
+        assert all(r["metrics"]["silent"] for r in executed)
+
+    def test_schedulers_campaign_declares_exclusions(self):
+        campaign = get_campaign("schedulers")
+        skipped = [s for s in campaign.specs if s.skip]
+        assert {(s.protocol, s.scheduler) for s in skipped} \
+            == set(EXCLUDED_DAEMONS)
+
+
+# ----------------------------------------------------------------------
+# the real CLI
+# ----------------------------------------------------------------------
+
+class TestCLI:
+    def cli(self, *args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd, env=env, capture_output=True, text=True, timeout=300)
+
+    def test_smoke_run_resume_status_report(self, tmp_path):
+        run1 = self.cli("campaign", "run", "--smoke", "--workers", "4",
+                        "--store", "s.jsonl", cwd=tmp_path)
+        assert run1.returncode == 0, run1.stderr
+        assert "12 executed, 0 cached" in run1.stdout
+
+        run2 = self.cli("campaign", "run", "--smoke", "--store", "s.jsonl",
+                        cwd=tmp_path)
+        assert run2.returncode == 0, run2.stderr
+        assert "0 executed, 12 cached" in run2.stdout
+
+        status = self.cli("campaign", "status", "--smoke",
+                          "--store", "s.jsonl", cwd=tmp_path)
+        assert status.returncode == 0, status.stderr
+        assert "complete" in status.stdout
+
+        report = self.cli("campaign", "report", "--smoke",
+                          "--store", "s.jsonl", cwd=tmp_path)
+        assert report.returncode == 0, report.stderr
+        assert "EXP-SMOKE" in report.stdout
+
+        csv = self.cli("campaign", "report", "--smoke", "--store", "s.jsonl",
+                       "--format", "csv", cwd=tmp_path)
+        assert csv.returncode == 0 and "," in csv.stdout
+
+    def test_list_names_every_campaign(self, tmp_path):
+        out = self.cli("campaign", "list", cwd=tmp_path)
+        assert out.returncode == 0
+        for name in CAMPAIGNS:
+            assert name in out.stdout

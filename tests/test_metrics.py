@@ -1,0 +1,84 @@
+"""Golden bit-count tests for :mod:`repro.runtime.metrics`.
+
+The space numbers every benchmark reports come from these three
+functions; here they are checked against *hand-computed* bit counts on a
+small fixed network, so a regression in any encoder arithmetic (or in the
+aggregation itself) shows up as a concrete wrong integer.
+"""
+
+import pytest
+
+from repro._bits import bits_for_id
+from repro.graphs import path_graph
+from repro.runtime import (
+    NONE,
+    RegisterSpec,
+    counter_field,
+    custom_field,
+    flag_field,
+    max_register_bits,
+    node_register_bits,
+    opt_id_field,
+    total_register_bits,
+)
+
+
+@pytest.fixture
+def net():
+    # P_3 with unscrambled ids {1, 2, 3}: id_space = max(n^2, n+1) = 9,
+    # so one identity costs ceil(log2 9) = 4 bits; n_bound = n = 3.
+    return path_graph(3, scramble_ids=False)
+
+
+@pytest.fixture
+def spec():
+    return RegisterSpec([
+        flag_field("mark"),                                     # 1 bit
+        opt_id_field("par"),                                    # 1 + 4 bits
+        counter_field("d", max_value=lambda net: net.n_bound),  # {0..3}: 2 bits
+    ])
+
+
+def test_hand_checked_constants(net):
+    assert net.id_space == 9
+    assert bits_for_id(net.id_space) == 4
+    assert net.n_bound == 3
+
+
+def test_node_register_bits_golden(net, spec):
+    config = {v: {"mark": False, "par": NONE, "d": 0} for v in net.nodes}
+    # per node: 1 (flag) + 5 (option bit + 4-bit id) + 2 (counter) = 8
+    assert node_register_bits(net, spec, config) == {1: 8, 2: 8, 3: 8}
+    assert max_register_bits(net, spec, config) == 8
+    assert total_register_bits(net, spec, config) == 24
+    # fixed-width fields: storing a value costs the same as storing NONE
+    config[2] = {"mark": True, "par": 1, "d": 3}
+    assert node_register_bits(net, spec, config)[2] == 8
+
+
+def test_value_dependent_field_accounting(net):
+    # a variable-length field (like the NCA label encodings): the metrics
+    # must charge each node for the value it actually holds
+    var = custom_field(
+        "lab",
+        default=lambda n, v: (),
+        bits=lambda n, value: 1 + 3 * len(value),
+        corrupt=lambda n, v, rng: (),
+    )
+    spec = RegisterSpec([var])
+    config = {1: {"lab": ()}, 2: {"lab": (10, 20)}, 3: {"lab": (1, 2, 3)}}
+    assert node_register_bits(net, spec, config) == {1: 1, 2: 7, 3: 10}
+    assert max_register_bits(net, spec, config) == 10
+    assert total_register_bits(net, spec, config) == 18
+
+
+def test_metrics_match_spec_state_bits(net, spec):
+    # the aggregations are definitionally sums/maxima of state_bits
+    config = {1: {"mark": False, "par": NONE, "d": 1},
+              2: {"mark": True, "par": 1, "d": 2},
+              3: {"mark": False, "par": 2, "d": 0}}
+    per_node = node_register_bits(net, spec, config)
+    for v in net.nodes:
+        assert per_node[v] == spec.state_bits(net, config[v])
+    assert max_register_bits(net, spec, config) == max(per_node.values())
+    assert total_register_bits(net, spec, config) == sum(per_node.values())
