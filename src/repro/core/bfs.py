@@ -40,16 +40,27 @@ class BFSPotential(CyclicalDecreasingPotential):
     def find_improvement(self, net: Network, tree: RootedTree):
         """The deepest-gain candidate: u rejecting because a neighbor v has
         d(v) < d(u) - 1 (the paper lets the root arbitrate ties; we pick the
-        largest gain, then smallest ids, for determinism)."""
+        largest gain, then smallest ids, for determinism).
+
+        Guard fast path: the depth map and adjacency mapping are
+        materialized once per call instead of being re-fetched through
+        method accessors per edge, and nodes at depth <= 1 are skipped
+        before their neighborhoods are scanned — u improves only if some
+        neighbor sits at depth < d(u) - 1, impossible for d(u) <= 1 since
+        depths are non-negative (this also covers the root).
+        """
         best = None
+        depth = {v: tree.depth(v) for v in net.nodes}
+        adjacency = net.adjacency
         for u in net.nodes:
-            if tree.parent(u) is None:
+            du = depth[u]
+            if du <= 1:
                 continue
-            du = tree.depth(u)
-            for v in net.neighbors(u):
-                dv = tree.depth(v)
-                if dv + 1 < du:
-                    gain = du - (dv + 1)
+            du1 = du - 1
+            for v in adjacency[u]:
+                dv = depth[v]
+                if dv < du1:
+                    gain = du1 - dv
                     cand = (-gain, u, v)
                     if best is None or cand < best:
                         best = cand

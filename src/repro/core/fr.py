@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.trees import RootedTree, bfs_tree
-from repro.graphs.network import Network, UWEdge
+from repro.graphs.network import Network
 
 __all__ = [
     "FRMarking",

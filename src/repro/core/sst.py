@@ -45,6 +45,17 @@ class SpanningTreeProtocol(Protocol):
     """Min-identity leader election with a BFS spanning tree, silent."""
 
     name = "sst"
+    #: every returned field differs from the register (the delta dicts
+    #: below are built by comparing against ``own`` first), so the engine
+    #: skips its no-op filter
+    exact_deltas = True
+
+    def __init__(self) -> None:
+        # per-network constant cache: n_bound is an incorruptible constant,
+        # re-reading it through two property hops per transition evaluation
+        # is measurable at engine call rates
+        self._bound_net: Network | None = None
+        self._bound1 = -1
 
     def register_spec(self, net: Network) -> RegisterSpec:
         return RegisterSpec([
@@ -53,17 +64,23 @@ class SpanningTreeProtocol(Protocol):
             counter_field("d", lambda n: n.n_bound),
         ])
 
-    def step(self, view: NodeView) -> dict | None:
-        me = view.node
-        bound = view.net.n_bound
-        own = view.state
-        nbr_states = view.nbr_states()
+    def fast_step(self, net: Network, config, me: int, nbr_rows) -> dict | None:
+        """The transition rule on raw engine state (see Protocol.fast_step).
+
+        This is the single implementation of the rule; :meth:`step` is a
+        thin NodeView adapter over it, so the engine's fast path and the
+        from-scratch rescan cannot disagree.
+        """
+        own = config[me]
         # all reachable claims: my own candidacy plus every neighbor claim
         # strictly better than my identity, with room left in the distance
         # bound (claims at distance >= N cannot be extended)
         best_rid, best_d = me, 0
-        bound1 = bound - 1  # d_u + 1 < bound  <=>  d_u < bound - 1
-        for _, st in nbr_states:
+        if net is not self._bound_net:
+            self._bound_net = net
+            self._bound1 = net.n_bound - 1
+        bound1 = self._bound1  # d_u + 1 < bound  <=>  d_u < bound - 1
+        for _, st in nbr_rows:
             rid_u, d_u = st["rid"], st["d"]
             # junk values are skipped: incomparable ones raise out of the
             # range test, comparable non-ints (floats, ...) are rejected by
@@ -89,19 +106,44 @@ class SpanningTreeProtocol(Protocol):
                 if rid == me and d == 0:
                     return None
             else:
-                pst = view.nbr_or_none(par)
-                if (pst is not None and pst["rid"] == rid
-                        and pst["d"] == d - 1 and rid < me):
-                    return None
+                # inline nbr_or_none: membership on the precomputed
+                # neighbor set, tolerating unhashable junk pointers
+                try:
+                    in_nbrs = par in net.neighbor_set(me)
+                except TypeError:
+                    in_nbrs = False
+                if in_nbrs:
+                    pst = config[par]
+                    if (pst["rid"] == rid and pst["d"] == d - 1
+                            and rid < me):
+                        return None
         if best_rid == me:
-            return {"rid": me, "par": NONE, "d": 0}
+            delta = {}
+            if rid != me:
+                delta["rid"] = me
+            if own["par"] is not NONE:
+                delta["par"] = NONE
+            if d != 0:
+                delta["d"] = 0
+            return delta or None
         # deterministic tie-break: the smallest neighbor offering the claim
-        # (nbr_states is in ascending neighbor order, so first match wins)
+        # (nbr_rows is in ascending neighbor order, so first match wins)
         par_d = best_d - 1
-        for par, st in nbr_states:
+        for par, st in nbr_rows:
             if st["rid"] == best_rid and st["d"] == par_d:
                 break
-        return {"rid": best_rid, "par": par, "d": best_d}
+        delta = {}
+        if rid != best_rid:
+            delta["rid"] = best_rid
+        if own["par"] != par:
+            delta["par"] = par
+        if d != best_d:
+            delta["d"] = best_d
+        return delta or None
+
+    def step(self, view: NodeView) -> dict | None:
+        return self.fast_step(view.net, view._config, view.node,
+                              view.nbr_states())
 
     def is_legal(self, net: Network, config) -> bool:
         """Legal: the min-identity BFS tree with exact distances."""

@@ -45,7 +45,6 @@ from repro.runtime.protocol import NodeView, Protocol
 from repro.runtime.registers import (
     NONE,
     RegisterSpec,
-    counter_field,
     flag_field,
     id_field,
     opt_counter_field,

@@ -32,7 +32,7 @@ from __future__ import annotations
 from repro.core.swap import MalleableTreeProtocol, tree_of_config
 from repro.core.trees import RootedTree
 from repro.graphs.network import Network
-from repro.labeling.nca import NCALabel, label_is_ancestor, nca_of_labels
+from repro.labeling.nca import NCALabel, label_is_ancestor
 from repro.runtime.protocol import ComposedProtocol, NodeView, Protocol
 from repro.runtime.registers import (
     NONE,

@@ -6,10 +6,16 @@ Correctness model:
   the runner, so records are bit-identical (minus wall-clock timing)
   regardless of worker count or completion order;
 * results are appended to the store in **campaign order** (``imap``
-  preserves submission order), so two stores produced with different
-  ``workers`` hold the same lines in the same order;
+  preserves submission order and blocks are contiguous), so two stores
+  produced with different ``workers`` hold the same lines in the same
+  order;
 * runs whose fingerprint is already stored are skipped — resuming an
-  interrupted campaign never repeats completed work.
+  interrupted campaign never repeats completed work;
+* pending runs are dispatched in contiguous **blocks** (replicate
+  batching): each pool task carries a block of specs instead of one, so
+  per-task dispatch cost — pickling, queue round-trips, and the fork +
+  import cost of any worker respawn — is amortized across the block
+  instead of being paid per run.
 """
 
 from __future__ import annotations
@@ -25,10 +31,41 @@ from repro.experiments.store import ResultStore
 __all__ = ["run_campaign"]
 
 
-def _pool_worker(task: tuple[dict[str, Any], int]) -> dict[str, Any]:
-    """Top-level (picklable) pool entry point."""
-    spec_dict, root_seed = task
-    return runner.run_spec(ExperimentSpec.from_dict(spec_dict), root_seed)
+def _pool_worker_block(
+        task: tuple[list[dict[str, Any]], int],
+) -> tuple[list[dict[str, Any]], BaseException | None]:
+    """Top-level (picklable) pool entry point: one block of specs.
+
+    Every record is still a pure function of ``(spec, root_seed)`` — the
+    block boundary only batches dispatch, it never threads state from one
+    run into the next.  A failing run must not discard the block's
+    already-completed records (resume would repeat them), so the error is
+    returned alongside the partial results and re-raised by the parent
+    after it has stored them.
+    """
+    spec_dicts, root_seed = task
+    records: list[dict[str, Any]] = []
+    for d in spec_dicts:
+        try:
+            records.append(runner.run_spec(ExperimentSpec.from_dict(d),
+                                           root_seed))
+        except BaseException as exc:  # re-raised by the parent
+            return records, exc
+    return records, None
+
+
+def _block_size(total: int, workers: int, chunk_size: int | None) -> int:
+    """Replicate-block length: explicit, or a load-balanced default.
+
+    The default aims for ~4 blocks per worker (good balance when run
+    times vary) capped at 8 runs per block (progress reporting stays
+    responsive on long campaigns).
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        return chunk_size
+    return max(1, min(8, -(-total // (workers * 4))))
 
 
 def _pool_context():
@@ -47,6 +84,7 @@ def run_campaign(
     workers: int = 1,
     max_runs: int | None = None,
     progress: Callable[[int, int, dict[str, Any]], None] | None = None,
+    chunk_size: int | None = None,
 ) -> list[dict[str, Any]]:
     """Execute every not-yet-stored spec of ``campaign``.
 
@@ -54,7 +92,9 @@ def run_campaign(
     afterwards, in campaign order (completed earlier or just now).  With
     ``max_runs`` the campaign stops after that many new runs — the
     hook interruption/resume tests and ``--max-runs`` use to simulate and
-    bound partial campaigns.
+    bound partial campaigns.  ``chunk_size`` pins the replicate-block
+    length handed to each pool task (default: auto, see
+    :func:`_block_size`); it never affects results, only dispatch cost.
     """
     store = store if store is not None else ResultStore(None)
     done = store.by_fingerprint()
@@ -77,12 +117,20 @@ def run_campaign(
 
     if workers > 1 and total > 1:
         ctx = _pool_context()
-        tasks = [(spec.to_dict(), campaign.root_seed) for spec, _ in todo]
-        with ctx.Pool(processes=min(workers, total)) as pool:
+        block = _block_size(total, workers, chunk_size)
+        spec_dicts = [spec.to_dict() for spec, _ in todo]
+        tasks = [(spec_dicts[i:i + block], campaign.root_seed)
+                 for i in range(0, total, block)]
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
             # imap (not imap_unordered): store lines land in campaign
-            # order, making the store file itself worker-count-invariant
-            for record in pool.imap(_pool_worker, tasks, chunksize=1):
-                _store(record)
+            # order, making the store file itself worker-count- and
+            # chunk-size-invariant
+            for records, error in pool.imap(_pool_worker_block, tasks,
+                                            chunksize=1):
+                for record in records:
+                    _store(record)
+                if error is not None:
+                    raise error
     else:
         for spec, _ in todo:
             _store(runner.run_spec(spec, campaign.root_seed))

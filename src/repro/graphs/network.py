@@ -51,6 +51,17 @@ class Network:
         flushing fake roots).  Defaults to ``n``.
     """
 
+    __slots__ = (
+        "_nodes",
+        "_edges",
+        "_adj",
+        "_adj_sets",
+        "_weights",
+        "_id_space",
+        "_n_bound",
+        "_edge_set_cache",
+    )
+
     def __init__(
         self,
         node_ids: Iterable[int],
@@ -75,14 +86,17 @@ class Network:
             canon.add(UWEdge(u, v))
         self._edges: tuple[tuple[int, int], ...] = tuple(sorted(canon))
 
-        self._adj: dict[int, tuple[int, ...]] = {u: () for u in self._nodes}
+        # precomputed neighbor arrays: sorted tuples (deterministic
+        # iteration order) plus frozensets (O(1) membership), both built
+        # eagerly — the engine's hot loops index these mappings directly
         adj_build: dict[int, list[int]] = {u: [] for u in self._nodes}
         for u, v in self._edges:
             adj_build[u].append(v)
             adj_build[v].append(u)
-        for u in self._nodes:
-            self._adj[u] = tuple(sorted(adj_build[u]))
-        self._adj_sets: dict[int, frozenset[int]] = {}
+        self._adj: dict[int, tuple[int, ...]] = {
+            u: tuple(sorted(adj_build[u])) for u in self._nodes}
+        self._adj_sets: dict[int, frozenset[int]] = {
+            u: frozenset(nbrs) for u, nbrs in self._adj.items()}
 
         self._weights: dict[tuple[int, int], int] | None = None
         if weights is not None:
@@ -155,13 +169,24 @@ class Network:
     def neighbor_set(self, u: int) -> frozenset[int]:
         """Neighbor identities of ``u`` as a frozenset (O(1) membership).
 
-        Built lazily and cached; the engine's hot path uses this for
+        Precomputed at construction; the engine's hot path uses this for
         neighbor-validation instead of scanning the sorted tuple.
         """
-        cached = self._adj_sets.get(u)
-        if cached is None:
-            cached = self._adj_sets[u] = frozenset(self._adj[u])
-        return cached
+        return self._adj_sets[u]
+
+    @property
+    def adjacency(self) -> Mapping[int, tuple[int, ...]]:
+        """The precomputed node -> sorted-neighbor-tuple mapping.
+
+        Engine-facing: indexing this mapping is a single C-level dict
+        lookup, with no method-call frame.  Treat as read-only.
+        """
+        return self._adj
+
+    @property
+    def adjacency_sets(self) -> Mapping[int, frozenset[int]]:
+        """The precomputed node -> neighbor-frozenset mapping (read-only)."""
+        return self._adj_sets
 
     def degree(self, u: int) -> int:
         return len(self._adj[u])

@@ -1,0 +1,43 @@
+"""Performance subsystem: pinned benchmark workloads, a measurement
+harness, and the ``BENCH_*.json`` trajectory emitter.
+
+The paper's headline claims are *time* claims (O(n)-round silent
+constructions under tight space bounds); validating them at scale hinges
+on simulator throughput.  This package makes that throughput a tracked,
+machine-readable quantity:
+
+* :mod:`repro.perf.workloads` — the registry of pinned, named workloads
+  (the PR-1 acceptance workload plus BFS/MST/MDST/NCA sweeps at
+  n in {128, 512, 2048}); every seed is pinned, so a workload is a pure
+  function of the code under test;
+* :mod:`repro.perf.harness` — warmup + median-of-k measurement with a
+  determinism cross-check and interpreter sanity gating;
+* :mod:`repro.perf.emitter` — the ``BENCH_latest.json`` / dated
+  ``BENCH_<date>.json`` schema, writer, and baseline comparison;
+* :mod:`repro.perf.cli` — ``python -m repro bench``.
+"""
+
+from repro.perf.emitter import (
+    SCHEMA_VERSION,
+    compare_reports,
+    load_report,
+    make_report,
+    validate_report,
+    write_report,
+)
+from repro.perf.harness import interpreter_report, run_workload
+from repro.perf.workloads import WORKLOADS, Workload, select_workloads
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WORKLOADS",
+    "Workload",
+    "compare_reports",
+    "interpreter_report",
+    "load_report",
+    "make_report",
+    "run_workload",
+    "select_workloads",
+    "validate_report",
+    "write_report",
+]

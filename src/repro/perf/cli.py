@@ -1,0 +1,178 @@
+"""``python -m repro bench`` — the performance command line.
+
+::
+
+    python -m repro bench                      # full pinned workload set
+    python -m repro bench --smoke --json       # CI gate set, JSON to stdout
+    python -m repro bench --workload acceptance-sst-512 --repeats 5
+    python -m repro bench --list
+    python -m repro bench --smoke --baseline benchmarks/baseline_bench.json
+
+Every run writes ``BENCH_latest.json`` plus a dated ``BENCH_*.json`` to
+``--out`` (default: the current directory).  With ``--baseline`` the
+fresh numbers are diffed against a committed report and the process
+exits 1 on any slowdown beyond ``--tolerance`` (default 2.5x, the CI
+noise allowance).  A dirty interpreter (tracer, profiler, coverage)
+refuses to record — ``--force`` overrides, for debugging only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.analysis import format_table
+from repro.perf.emitter import (
+    compare_reports,
+    load_report,
+    make_report,
+    write_report,
+)
+from repro.perf.harness import interpreter_report, run_workload
+from repro.perf.workloads import WORKLOADS, select_workloads
+
+__all__ = ["main", "register_bench"]
+
+
+def add_bench_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small CI-gate workload set")
+    parser.add_argument("--workload", action="append", metavar="NAME",
+                        help="run one named workload (repeatable); "
+                             "see --list")
+    parser.add_argument("--list", action="store_true", dest="list_workloads",
+                        help="list registered workloads and exit")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="override each workload's repeat count")
+    parser.add_argument("--out", metavar="DIR", default=".",
+                        help="directory for BENCH_*.json (default: .)")
+    parser.add_argument("--json", action="store_true",
+                        help="also print the report JSON to stdout")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="diff against a committed BENCH report; "
+                             "exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=2.5,
+                        help="slowdown factor that counts as a regression "
+                             "(default 2.5, CI-noise allowance)")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="skip the discarded warmup execution")
+    parser.add_argument("--force", action="store_true",
+                        help="record even from a dirty interpreter "
+                             "(debugging only)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-workload progress lines")
+
+
+def _cmd_list() -> int:
+    rows = [(w.name, w.family, ",".join(w.tags), w.repeats,
+             f"R{w.round_budget or '-'}/M{w.move_budget or '-'}",
+             w.describe())
+            for w in WORKLOADS.values()]
+    print(format_table("pinned bench workloads",
+                       ["name", "family", "tags", "reps", "budget", "what"],
+                       rows))
+    return 0
+
+
+def _print_comparison(diff: dict[str, Any]) -> None:
+    rows = []
+    for row in diff["rows"]:
+        if row["status"] == "skipped":
+            rows.append((row["workload"], "-", "-", "-", "skipped: "
+                         + row["reason"]))
+        else:
+            rows.append((row["workload"],
+                         f"{row['baseline_mps']:,.0f}",
+                         f"{row['current_mps']:,.0f}",
+                         f"{row['slowdown']:.2f}x",
+                         row["status"]))
+    print(format_table(
+        f"baseline comparison (regression = >{diff['tolerance']}x slower)",
+        ["workload", "baseline mv/s", "current mv/s", "slowdown", "status"],
+        rows))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list_workloads:
+        return _cmd_list()
+
+    try:
+        workloads = select_workloads(args.workload, smoke=args.smoke)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    if not workloads:
+        raise SystemExit("error: no workloads selected")
+
+    env = interpreter_report()
+    for msg in env["warnings"]:
+        print(f"warning: {msg}", file=sys.stderr)
+    if env["dirty"]:
+        for msg in env["dirty"]:
+            print(f"dirty interpreter: {msg}", file=sys.stderr)
+        if not args.force:
+            print("refusing to record benchmark results from a dirty "
+                  "interpreter (use --force to override)", file=sys.stderr)
+            return 2
+        print("warning: --force set, recording anyway", file=sys.stderr)
+
+    results: dict[str, dict[str, Any]] = {}
+    for w in workloads:
+        record = run_workload(w, repeats=args.repeats,
+                              warmup=not args.no_warmup)
+        results[w.name] = record
+        if not args.quiet:
+            print(f"{w.name}: {record['moves']} moves / "
+                  f"{record['rounds']} rounds in {record['seconds']:.3f}s "
+                  f"-> {record['moves_per_sec']:,.0f} moves/s, "
+                  f"{record['rounds_per_sec']:,.0f} rounds/s "
+                  f"(median of {record['repeats']})", flush=True)
+
+    mode = "smoke" if args.smoke else (
+        "custom" if args.workload else "full")
+    report = make_report(mode, results, env)
+    latest, dated = write_report(report, args.out)
+    if not args.quiet:
+        print(f"wrote {latest} and {dated}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        diff = compare_reports(report, baseline, tolerance=args.tolerance)
+        if not args.quiet or not diff["ok"]:
+            _print_comparison(diff)
+        if not diff["ok"]:
+            if diff["regressions"]:
+                print(f"PERF GATE FAILED: {', '.join(diff['regressions'])} "
+                      f"slower than {args.tolerance}x the baseline",
+                      file=sys.stderr)
+            else:
+                print("PERF GATE FAILED: no workload overlaps the "
+                      "baseline — refresh benchmarks/baseline_bench.json",
+                      file=sys.stderr)
+            return 1
+        print(f"perf gate ok ({diff['compared']} workloads within "
+              f"{args.tolerance}x)")
+    return 0
+
+
+def register_bench(subparsers) -> None:
+    """Attach the ``bench`` subcommand to the ``python -m repro`` parser."""
+    p = subparsers.add_parser(
+        "bench", help="pinned perf workloads -> BENCH_*.json")
+    add_bench_options(p)
+    p.set_defaults(fn=_cmd_bench)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="pinned performance workloads -> BENCH_*.json")
+    add_bench_options(parser)
+    return _cmd_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

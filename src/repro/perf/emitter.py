@@ -1,0 +1,173 @@
+"""The ``BENCH_*.json`` trajectory: schema, writer, baseline comparison.
+
+Every bench run emits one report: ``BENCH_latest.json`` (overwritten,
+the file CI diffs and uploads) plus a dated ``BENCH_<YYYY-MM-DD>.json``
+sibling, so a checkout accumulates a perf trajectory over time.  The
+report is self-describing — schema version, interpreter identity, git
+revision — and the *comparison* logic lives here too, so the CI gate
+and local `--baseline` runs share one definition of "regression".
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import subprocess
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "make_report",
+    "write_report",
+    "load_report",
+    "validate_report",
+    "compare_reports",
+]
+
+#: Bump on incompatible report-shape changes; compare_reports refuses to
+#: diff reports with mismatched schema versions.
+SCHEMA_VERSION = 1
+
+#: Per-workload keys every report must carry (the comparison contract).
+_REQUIRED_WORKLOAD_KEYS = (
+    "family", "protocol", "n", "rounds", "moves", "seconds",
+    "moves_per_sec", "rounds_per_sec", "repeats",
+)
+
+
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def make_report(mode: str, results: dict[str, dict[str, Any]],
+                interpreter: dict[str, Any]) -> dict[str, Any]:
+    """Assemble the report dict from per-workload harness records."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "created": _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"),
+        "git_revision": _git_revision(),
+        "interpreter": {k: interpreter[k] for k in
+                        ("python", "implementation", "platform")},
+        "interpreter_warnings": list(interpreter.get("warnings", ())),
+        # peak_rss_kb is a process-lifetime high-water mark on Linux:
+        # within one report it is monotone across workloads, so treat a
+        # workload's value as an upper bound, not an isolated footprint
+        "notes": {"peak_rss_kb": "process high-water mark (monotone "
+                                 "within a report)"},
+        "workloads": dict(results),
+    }
+
+
+def validate_report(report: dict[str, Any]) -> list[str]:
+    """Schema errors as human-readable strings (empty when valid)."""
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object"]
+    if report.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema version {report.get('schema')!r} != {SCHEMA_VERSION}")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        errors.append("missing or empty 'workloads' object")
+        return errors
+    for name, rec in workloads.items():
+        if not isinstance(rec, dict):
+            errors.append(f"workload {name!r}: not an object")
+            continue
+        for key in _REQUIRED_WORKLOAD_KEYS:
+            if key not in rec:
+                errors.append(f"workload {name!r}: missing {key!r}")
+    return errors
+
+
+def write_report(report: dict[str, Any],
+                 out_dir: str | Path = ".") -> tuple[Path, Path]:
+    """Write ``BENCH_latest.json`` + the dated sibling; returns both paths."""
+    errors = validate_report(report)
+    if errors:
+        raise ValueError(f"refusing to write an invalid report: {errors}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(report, indent=2, sort_keys=False) + "\n"
+    latest = out / "BENCH_latest.json"
+    date = report["created"][:10]  # ISO date prefix
+    dated = out / f"BENCH_{date}.json"
+    latest.write_text(text)
+    dated.write_text(text)
+    return latest, dated
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and validate a report; raises ValueError on schema problems."""
+    report = json.loads(Path(path).read_text())
+    errors = validate_report(report)
+    if errors:
+        raise ValueError(f"{path}: invalid BENCH report: {errors}")
+    return report
+
+
+def compare_reports(current: dict[str, Any], baseline: dict[str, Any],
+                    tolerance: float = 2.5) -> dict[str, Any]:
+    """Diff two reports on moves/sec; flag slowdowns beyond ``tolerance``.
+
+    A workload regresses when ``baseline_mps / current_mps > tolerance``
+    (tolerance 2.5 absorbs CI-runner noise, per the perf-gate policy).
+    Workloads present in only one report are reported as ``skipped`` —
+    the workload set may legitimately evolve between commits — and never
+    fail the gate on their own.  However, a comparison in which *zero*
+    workloads overlap compared nothing and fails (``ok: False``):
+    otherwise renaming the workload set without refreshing the committed
+    baseline would turn the CI gate permanently, silently green.
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must be > 1.0, got {tolerance}")
+    for rep, label in ((current, "current"), (baseline, "baseline")):
+        errors = validate_report(rep)
+        if errors:
+            raise ValueError(f"{label} report invalid: {errors}")
+
+    cur, base = current["workloads"], baseline["workloads"]
+    rows: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    for name in cur:
+        if name not in base:
+            rows.append({"workload": name, "status": "skipped",
+                         "reason": "not in baseline"})
+            continue
+        cur_mps = float(cur[name]["moves_per_sec"])
+        base_mps = float(base[name]["moves_per_sec"])
+        if cur_mps <= 0.0:
+            # a zero-throughput current run is always a failure: the
+            # workload did no measurable work
+            rows.append({"workload": name, "status": "regression",
+                         "current_mps": cur_mps, "baseline_mps": base_mps,
+                         "slowdown": float("inf")})
+            regressions.append(name)
+            continue
+        slowdown = base_mps / cur_mps if base_mps > 0 else 0.0
+        status = "regression" if slowdown > tolerance else "ok"
+        rows.append({"workload": name, "status": status,
+                     "current_mps": round(cur_mps, 1),
+                     "baseline_mps": round(base_mps, 1),
+                     "slowdown": round(slowdown, 3)})
+        if status == "regression":
+            regressions.append(name)
+    for name in base:
+        if name not in cur:
+            rows.append({"workload": name, "status": "skipped",
+                         "reason": "not in current"})
+    compared = sum(1 for r in rows if r["status"] != "skipped")
+    return {"tolerance": tolerance, "rows": rows, "compared": compared,
+            "regressions": regressions,
+            "ok": not regressions and compared > 0}

@@ -1,0 +1,190 @@
+"""Workload measurement: warmup + median-of-k, with sanity gating.
+
+Measurement discipline:
+
+* every repeat rebuilds the network, configuration, daemon, and
+  simulator from the workload's pinned seeds, so repeats are independent
+  and identical in everything but wall clock;
+* one **warmup** execution runs first and is discarded (interpreter
+  warm-start: allocator arenas, inline caches, branch-predictor state);
+* the clock covers only the round loop — topology/init construction and
+  metric extraction are excluded;
+* the harness asserts that all repeats performed the same (moves,
+  rounds, silence) — a determinism failure is a bug, not noise, and is
+  raised instead of being averaged away;
+* peak RSS is sampled from ``getrusage`` after the repeats (on Linux the
+  value is a process-lifetime high-water mark; the emitter records it
+  per workload as an upper bound and says so in the schema).
+
+The harness also refuses to *record* results from a dirty interpreter —
+an active tracer/profiler or coverage hooks slow pure-Python hot loops
+by integer factors and would poison the BENCH trajectory.  See
+:func:`interpreter_report`.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.registry import (
+    SCHEDULERS,
+    build_config,
+    build_network,
+    build_protocol,
+)
+from repro.perf.workloads import Workload
+from repro.runtime.simulator import Simulator
+
+__all__ = ["run_workload", "interpreter_report"]
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak RSS in KiB (high-water mark), or None if unknown."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak //= 1024
+    return int(peak)
+
+
+def _one_execution(
+        workload: Workload) -> tuple[float, int, int, bool, int, int]:
+    """Build everything fresh and run one budgeted execution.
+
+    Returns ``(seconds, moves, rounds, silent, n, m)`` with the clock
+    covering only the round loop.
+    """
+    net = build_network(workload.topology, workload.topo, random.Random(0))
+    proto, _ = build_protocol(workload.protocol)
+    config, _ = build_config(workload.init, net, proto, random.Random(1),
+                             workload.init_args)
+    scheduler = SCHEDULERS[workload.scheduler](workload.scheduler_seed)
+    sim = Simulator(net, proto, scheduler, config=config)
+
+    t0 = time.perf_counter()
+    if workload.round_budget == 0 and workload.move_budget > 0:
+        # step mode: sub-round move budget for protocols whose rounds
+        # are too expensive to run whole (rounds stay 0 by definition)
+        sim.run_steps(workload.move_budget)
+    else:
+        round_budget = workload.round_budget or sys.maxsize
+        move_budget = workload.move_budget or sys.maxsize
+        while sim.rounds < round_budget and sim.moves < move_budget:
+            if not sim.run_round(max_moves=10_000_000):
+                break
+    seconds = time.perf_counter() - t0
+    return seconds, sim.moves, sim.rounds, sim.is_silent(), net.n, net.m
+
+
+def run_workload(workload: Workload, repeats: int | None = None,
+                 warmup: bool = True) -> dict[str, Any]:
+    """Measure one workload: warmup + median-of-k repeats.
+
+    Returns the JSON-plain per-workload record the emitter persists.
+    Raises RuntimeError if the repeats disagree on (moves, rounds,
+    silent) — the workload seeds are pinned, so any disagreement means
+    nondeterminism in the engine, which must not be papered over.
+    """
+    k = repeats if repeats is not None else workload.repeats
+    if k < 1:
+        raise ValueError("repeats must be >= 1")
+
+    if warmup and workload.warmup:
+        _one_execution(workload)
+    runs = [_one_execution(workload) for _ in range(k)]
+
+    outcomes = {run[1:] for run in runs}  # everything but the clock
+    if len(outcomes) != 1:
+        raise RuntimeError(
+            f"workload {workload.name!r} is nondeterministic across "
+            f"repeats: {sorted(outcomes)} — engine bug, refusing to record")
+    _, moves, rounds, silent, n, m = runs[0]
+
+    seconds = statistics.median(run[0] for run in runs)
+    return {
+        "family": workload.family,
+        "protocol": workload.protocol,
+        "topology": workload.topology,
+        "scheduler": workload.scheduler,
+        "init": workload.init,
+        "n": n,
+        "m": m,
+        "rounds": rounds,
+        "moves": moves,
+        "silent": silent,
+        "repeats": k,
+        "seconds": seconds,
+        "seconds_all": [run[0] for run in runs],
+        "moves_per_sec": (moves / seconds) if seconds > 0 else 0.0,
+        "rounds_per_sec": (rounds / seconds) if seconds > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def _src_dir() -> Path:
+    """The ``src`` directory the running ``repro`` package lives under."""
+    import repro
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def interpreter_report() -> dict[str, Any]:
+    """Interpreter fitness for recording benchmark numbers.
+
+    Returns ``{"dirty": [...], "warnings": [...], ...identity...}``.
+    ``dirty`` reasons make recorded numbers meaningless (active tracer /
+    profiler / tracemalloc / coverage); the CLI refuses to write
+    ``BENCH_*.json`` while any is present unless forced.  ``warnings``
+    flag suspicious-but-recordable conditions, notably a ``PYTHONPATH``
+    that does not include the ``src`` tree ``repro`` was imported from
+    (subprocess workloads would then resolve a *different* repro).
+    """
+    dirty: list[str] = []
+    warnings: list[str] = []
+
+    if sys.gettrace() is not None:
+        dirty.append("an active trace function (debugger/coverage) is set")
+    if sys.getprofile() is not None:
+        dirty.append("an active profile function is set")
+    try:
+        import tracemalloc
+        if tracemalloc.is_tracing():
+            dirty.append("tracemalloc is tracing allocations")
+    except ImportError:  # pragma: no cover
+        pass
+    if "coverage" in sys.modules:
+        dirty.append("the coverage package is loaded")
+
+    src = _src_dir()
+    pythonpath = os.environ.get("PYTHONPATH", "")
+    entries = [Path(p).resolve() for p in pythonpath.split(os.pathsep) if p]
+    if src not in entries:
+        warnings.append(
+            f"PYTHONPATH does not include {src} — subprocess runs may "
+            f"import a different 'repro'; set PYTHONPATH={src}")
+    if platform.python_implementation() != "CPython":
+        warnings.append(
+            f"non-CPython interpreter "
+            f"({platform.python_implementation()}): numbers are not "
+            f"comparable with the CPython trajectory")
+    if not __debug__:
+        warnings.append("interpreter running with -O (asserts stripped)")
+    if sys.flags.dev_mode:
+        warnings.append("-X dev mode is active (extra runtime checks)")
+
+    return {
+        "dirty": dirty,
+        "warnings": warnings,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }

@@ -15,7 +15,7 @@ simulator relies on this to cache enabledness.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.graphs.network import Network
 from repro.runtime.registers import RegisterSpec
@@ -51,13 +51,19 @@ class NodeView:
     against this interface cannot cheat by peeking at global state.
     """
 
-    __slots__ = ("net", "node", "_config")
+    __slots__ = ("net", "node", "_config", "_rows")
 
     def __init__(self, net: Network, node: int,
-                 config: Mapping[int, Mapping[str, object]]) -> None:
+                 config: Mapping[int, Mapping[str, object]],
+                 rows: Mapping[int, tuple] | None = None) -> None:
         self.net = net
         self.node = node
         self._config = config
+        # engine-provided precomputed (neighbor, register) pair tuples per
+        # node, valid only when ``config`` is the engine's live configuration
+        # (register dicts are mutated in place, never replaced); lets
+        # :meth:`nbr_states` skip rebuilding the pair list on the hot path
+        self._rows = rows
 
     # -- incorruptible constants --------------------------------------
 
@@ -128,8 +134,11 @@ class NodeView:
             pass
         return None
 
-    def nbr_states(self) -> list[tuple[int, Mapping[str, object]]]:
+    def nbr_states(self) -> Sequence[tuple[int, Mapping[str, object]]]:
         """``(neighbor_id, register)`` pairs in ascending neighbor order."""
+        rows = self._rows
+        if rows is not None:
+            return rows[self.node]
         config = self._config
         return [(u, config[u]) for u in self.net.neighbors(self.node)]
 
@@ -155,6 +164,23 @@ class Protocol(ABC):
 
     #: Short name used in reports.
     name: str = "protocol"
+
+    #: Optional engine fast path.  A protocol may override this with a
+    #: method ``fast_step(net, config, node, nbr_rows) -> delta | None``
+    #: computing *exactly* what :meth:`step` computes; ``nbr_rows`` is the
+    #: ascending ``(neighbor, register)`` pair sequence for ``node``.  The
+    #: simulator's re-proposal loop calls it directly when present, skipping
+    #: NodeView dispatch on the hottest path.  Correct protocols implement
+    #: the rule once in ``fast_step`` and delegate ``step`` to it, so the
+    #: two paths cannot drift (see :class:`repro.core.sst`).
+    fast_step: object = None
+
+    #: Set to True when :meth:`step` (and :attr:`fast_step`) only ever
+    #: return *effective* writes — every returned field differs from the
+    #: register's current value.  The engine then skips its per-proposal
+    #: no-op filter.  Leave False (the default) when in doubt: returning a
+    #: restating field with True silently corrupts enabledness.
+    exact_deltas: bool = False
 
     #: How far :meth:`step` reads: ``"neighborhood"`` (the state model's
     #: 1-hop closed neighborhood — the default) or ``"global"`` (the step

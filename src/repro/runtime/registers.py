@@ -51,6 +51,8 @@ __all__ = [
 class _NoneValue:
     """The register null marker (the paper's bottom symbol)."""
 
+    __slots__ = ()
+
     _instance: "_NoneValue | None" = None
 
     def __new__(cls) -> "_NoneValue":
@@ -68,7 +70,7 @@ class _NoneValue:
 NONE = _NoneValue()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Field:
     """One named field of a node register.
 
@@ -223,6 +225,8 @@ def custom_field(
 
 class RegisterSpec:
     """The ordered collection of fields forming one node's register."""
+
+    __slots__ = ("_fields", "_by_name")
 
     def __init__(self, fields: list[Field]) -> None:
         names = [f.name for f in fields]

@@ -49,7 +49,7 @@ __all__ = ["Simulator", "RunResult", "random_configuration"]
 Config = dict[int, dict[str, object]]
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Outcome of a (partial) execution."""
 
@@ -143,6 +143,26 @@ class Simulator:
         self._dirty: set[int] = set(net.nodes)
         self._pending: set[int] | None = None  # the active round's pending set
         self._sched_synced = False
+        # prebuilt (neighbor, register) pair tuples per node.  Register
+        # dicts are mutated in place (never replaced) by _apply_batch and
+        # overwrite, so these references stay valid for the simulator's
+        # lifetime; the re-proposal loop and NodeView.nbr_states read them
+        # without rebuilding a pair list per transition evaluation.
+        config = self.config
+        self._rows: dict[int, tuple[tuple[int, dict[str, object]], ...]] = {
+            v: tuple((u, config[u]) for u in net.neighbors(v))
+            for v in net.nodes}
+        # protocols may publish a NodeView-free fast path (see
+        # Protocol.fast_step); resolve it once
+        self._fast_step = protocol.fast_step if callable(
+            getattr(protocol, "fast_step", None)) else None
+        # protocols declaring exact deltas skip the engine's no-op filter
+        self._exact_deltas = bool(getattr(protocol, "exact_deltas", False))
+        # the base-class Scheduler.notify is a no-op; skip the call frame
+        # entirely unless the daemon actually overrides it
+        self._notify = (self.scheduler.notify
+                        if type(self.scheduler).notify is not Scheduler.notify
+                        else None)
         # oracle-consulting protocols read the whole configuration, so any
         # write invalidates every cached proposal (see Protocol.read_locality)
         self._global_reads = protocol.read_locality == "global"
@@ -166,6 +186,9 @@ class Simulator:
             removed: list[int] = []
             net, config = self.net, self.config
             step = self.protocol.step
+            fast_step = self._fast_step
+            exact = self._exact_deltas
+            rows = self._rows
             proposal = self._proposal
             # engine-owned EnabledSet internals, updated in place (the
             # method-call indirection is measurable at this call rate)
@@ -173,22 +196,36 @@ class Simulator:
             elist = self._enabled._list
             # one view object reused across the loop: step() must not retain
             # it (it is only valid for the duration of the atomic step)
-            view = NodeView(net, 0, config)
+            view = NodeView(net, 0, config, rows)
             items = sorted(self._dirty)
             self._dirty.clear()
             i = 0
             try:
                 for i, v in enumerate(items):
                     # inlined effective_delta (this loop dominates stepping
-                    # cost)
-                    view.node = v
-                    delta = step(view)
-                    if delta:
-                        own = config[v]
-                        delta = {k: val for k, val in delta.items()
-                                 if own[k] != val} or None
+                    # cost); protocols with a fast path skip NodeView
+                    # dispatch entirely
+                    if fast_step is not None:
+                        delta = fast_step(net, config, v, rows[v])
                     else:
+                        view.node = v
+                        delta = step(view)
+                    if not delta:
                         delta = None
+                    elif not exact:
+                        # dict-free comparison: count effective writes and
+                        # allocate a filtered dict only when the proposal
+                        # mixes no-op and effective fields
+                        own = config[v]
+                        eff = 0
+                        for k, val in delta.items():
+                            if own[k] != val:
+                                eff += 1
+                        if eff == 0:
+                            delta = None
+                        elif eff != len(delta):
+                            delta = {k: val for k, val in delta.items()
+                                     if own[k] != val}
                     proposal[v] = delta
                     if delta is not None:
                         if v not in eset:
@@ -209,8 +246,9 @@ class Simulator:
             finally:
                 if self._pending is not None:
                     self._pending.difference_update(removed)
-                if self._sched_synced and (added or removed):
-                    self.scheduler.notify(added, removed)
+                if (self._sched_synced and (added or removed)
+                        and self._notify is not None):
+                    self._notify(added, removed)
         if not self._sched_synced:
             self.scheduler.reset(self._enabled)
             self._sched_synced = True
@@ -291,7 +329,7 @@ class Simulator:
                     writes.append((v, delta))
         dirty = self._dirty
         config = self.config
-        neighbors = self.net.neighbors
+        adjacency = self.net.adjacency
         if self._global_reads and writes:
             for v, delta in writes:
                 config[v].update(delta)
@@ -301,9 +339,11 @@ class Simulator:
                 config[v].update(delta)
                 # invalidate proposals in the write neighborhood
                 dirty.add(v)
-                dirty.update(neighbors(v))
+                dirty.update(adjacency[v])
         self.moves += len(writes)
         if writes:
+            # read the observer attributes live: callers may legitimately
+            # attach an invariant or enable tracing after construction
             if self.invariant is not None and not self.invariant(self.net, self.config):
                 self._invariant_violations += 1
             if self.record_trace:
@@ -353,6 +393,31 @@ class Simulator:
             self._pending = None
         self.rounds += 1
         return True
+
+    def run_steps(self, max_moves: int) -> int:
+        """Execute daemon steps until silence or ``max_moves`` moves.
+
+        Sub-round granularity for callers that need a *move* budget on
+        protocols whose rounds are huge (the perf harness budgets the
+        slow-stepping baselines this way).  Does not advance the round
+        counter — rounds are a property of complete-round executions.
+        The budget is checked between daemon steps, so a multi-node
+        selection may overshoot it by at most one batch.
+
+        Returns the number of moves applied.
+        """
+        if max_moves < 1:
+            raise ValueError(f"max_moves must be >= 1, got {max_moves}")
+        start = self.moves
+        while self.moves - start < max_moves:
+            self._refresh()
+            if not self._enabled:
+                break
+            chosen = self.scheduler.select(self._enabled)
+            if len(chosen) != 1 or chosen[0] not in self._enabled._set:
+                self._validate_selection(chosen)
+            self._apply_batch(chosen)
+        return self.moves - start
 
     def run(
         self,

@@ -9,7 +9,6 @@ from repro.baselines import (
     AdHocBFSProtocol,
     BigMemoryMDST,
     CompactNonSilentMST,
-    kruskal_mst,
 )
 from repro.graphs import random_connected_graph, ring
 from repro.runtime import (

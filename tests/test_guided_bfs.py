@@ -14,9 +14,8 @@ import pytest
 from repro.core import bfs_tree, dfs_tree
 from repro.core.bfs import is_bfs_tree
 from repro.core.swap import MalleableTreeProtocol, tree_of_config
-from repro.core.tasks import GuidedBFS, guided_bfs_protocol
+from repro.core.tasks import guided_bfs_protocol
 from repro.graphs import (
-    complete_graph,
     grid_graph,
     lollipop_graph,
     random_connected_graph,
@@ -24,7 +23,6 @@ from repro.graphs import (
     theta_graph,
 )
 from repro.runtime import (
-    NONE,
     CentralRandomScheduler,
     DistributedRandomScheduler,
     Simulator,

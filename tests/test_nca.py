@@ -7,7 +7,7 @@ import pytest
 from dataclasses import replace
 from hypothesis import given, settings, strategies as st
 
-from repro.core import bfs_tree, dfs_tree, random_spanning_tree
+from repro.core import bfs_tree, random_spanning_tree
 from repro.core.cycles import on_chain_segment, on_fundamental_cycle
 from repro.graphs import (
     caterpillar_graph,

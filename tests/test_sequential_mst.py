@@ -22,7 +22,6 @@ from repro.labeling.mst_pls import (
     MSTPLS,
     boruvka_trace,
     find_mst_violation,
-    phi_values,
 )
 
 WEIGHTED = [
