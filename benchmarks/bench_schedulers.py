@@ -6,11 +6,13 @@ polynomial.
 
 The grid (protocol x daemon, arbitrary init) is declared in
 :func:`repro.experiments.campaigns.schedulers`; this bench runs it through
-the campaign harness and renders EXP-SCHED from the records.  The
-``(malleable-tree, central-max-id)`` exclusion — the classical
-unfair-daemon election subtlety the paper sidesteps by delegating
-construction to ref [25] — is a declared ``skip`` spec, so the store and
-the report stay self-describing (see EXPERIMENTS.md, EXP-SCHED).
+the campaign harness and renders EXP-SCHED from the records.  The grid is
+complete: the former ``(malleable-tree, central-max-id)`` skip — the
+classical unfair-daemon election subtlety the paper sidesteps by
+delegating construction to ref [25] — was retired when the election layer
+gained a real adoption-soundness guard (see
+:meth:`repro.core.swap.MalleableTreeProtocol._best_claim` and
+EXPERIMENTS.md, EXP-SCHED).
 """
 
 import sys

@@ -1,0 +1,274 @@
+"""Exhaustive small-n model checking of the verifier-equipped protocols.
+
+For a small instance (n <= 6) the full nondeterminism of the unfair
+scheduler is enumerable: from any configuration, the daemon may activate
+*every* non-empty subset of the enabled nodes.  :func:`explore` builds
+the reachable state graph from a set of starting configurations under
+all of those choices and checks the two halves of silent
+self-stabilization plus the certification contract:
+
+* **convergence** — the reachable graph contains no cycle among
+  non-silent configurations (a cycle is a daemon strategy that runs
+  forever, i.e. a livelock witness, which is returned); since silent
+  configurations are sinks, acyclicity means every maximal execution
+  under every daemon reaches silence;
+* **closure / correctness** — every reachable silent configuration is
+  legal for the task;
+* **no fakes** — on every reachable silent configuration the local
+  verifiers' verdict (after certificate assignment) agrees with the
+  ground-truth legality predicate, i.e. no reachable configuration a
+  corrupted start can produce fools the certificate scheme.
+
+Oracle-state semantics, recorded here once.  The guided tasks keep
+detector bookkeeping as protocol-instance state (the digest-keyed memo,
+the issued-key retirement, guided-mdst's improvement plan — DESIGN.md,
+substitution 6).  :func:`explore` therefore supports two modes:
+
+* **shared instance** (default): one protocol object serves every
+  branch, so decisions reflect the memo/plan history induced by the
+  exploration order.  This is an *over-approximation* of real
+  executions — cross-branch pollution can produce oracle-answer
+  histories no single execution realizes — which makes it a stronger
+  bug-finder (it found all four PR-4 protocol bugs) but means a
+  reported cycle must be confirmed against real semantics (e.g. by
+  draining the witness state through the simulator) before being read
+  as a protocol livelock;
+* **fresh instances** (``protocol_factory=``): every state expansion
+  gets a new protocol object, i.e. the ideal-detector semantics where
+  each decision is a pure function of the configuration — the exact
+  Markov state machine, used by the pinned regression tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.certify.schemes import (
+    LocalCertifier,
+    single_register_corruptions,
+)
+from repro.graphs.network import Network
+from repro.runtime.protocol import NodeView, Protocol, effective_delta
+
+__all__ = ["ModelCheckResult", "explore", "check_certifier"]
+
+Config = dict[int, dict[str, object]]
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of one exhaustive exploration."""
+
+    states: int = 0
+    transitions: int = 0
+    silent_states: int = 0
+    #: silent configurations that are not legal (closure violations)
+    illegal_silent: list[Config] = field(default_factory=list)
+    #: silent configurations where verifier verdict != legality (fakes)
+    fake_certified: list[Config] = field(default_factory=list)
+    #: a reachable non-silent cycle, as a list of configs (livelock)
+    cycle: list[Config] | None = None
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.ok_except_truncation and not self.truncated
+
+    @property
+    def ok_except_truncation(self) -> bool:
+        """No violation found (exploration may still have been bounded)."""
+        return (not self.illegal_silent and not self.fake_certified
+                and self.cycle is None)
+
+    def summary(self) -> str:
+        if self.ok:
+            verdict = "OK"
+        elif self.ok_except_truncation:
+            verdict = "BOUNDED (no violation in explored region)"
+        else:
+            verdict = "FAILED"
+        bits = [f"{self.states} states", f"{self.transitions} transitions",
+                f"{self.silent_states} silent"]
+        if self.truncated:
+            bits.append("TRUNCATED (raise max_states)")
+        if self.cycle is not None:
+            bits.append(f"LIVELOCK cycle of length {len(self.cycle)}")
+        if self.illegal_silent:
+            bits.append(f"{len(self.illegal_silent)} illegal silent")
+        if self.fake_certified:
+            bits.append(f"{len(self.fake_certified)} certificate fakes")
+        return f"{verdict}: {', '.join(bits)}"
+
+
+def _canon(net: Network, names: tuple[str, ...], config: Config):
+    return tuple(
+        tuple(config[v][f] for f in names) for v in sorted(config))
+
+
+def _thaw(net: Network, names: tuple[str, ...], key) -> Config:
+    return {v: dict(zip(names, row))
+            for v, row in zip(sorted(net.nodes), key)}
+
+
+def _enabled_deltas(net: Network, protocol: Protocol, config: Config):
+    out = []
+    for v in net.nodes:
+        delta = effective_delta(protocol, NodeView(net, v, config))
+        if delta is not None:
+            out.append((v, delta))
+    return out
+
+
+def _subsets(items: list):
+    for k in range(1, len(items) + 1):
+        yield from combinations(items, k)
+
+
+def explore(net: Network, protocol: Protocol, starts: list[Config],
+            *, max_states: int = 50_000,
+            is_legal=None, accepts=None,
+            protocol_factory=None) -> ModelCheckResult:
+    """Exhaustive daemon-choice exploration from ``starts`` (see module
+    docstring).  ``is_legal(config)`` and ``accepts(config)`` are
+    optional predicates for the closure and no-fake checks;
+    ``protocol_factory`` switches to fresh-instance (Markov) semantics."""
+    names = tuple(protocol.register_spec(net).names)
+    result = ModelCheckResult()
+    succs: dict[object, list] = {}
+    silent_keys: set = set()
+
+    start_keys = []
+    for cfg in starts:
+        key = _canon(net, names, cfg)
+        start_keys.append(key)
+
+    frontier = [k for k in start_keys if k not in succs]
+    while frontier:
+        key = frontier.pop()
+        if key in succs:
+            continue
+        if len(succs) >= max_states:
+            result.truncated = True
+            break
+        config = _thaw(net, names, key)
+        proto = protocol_factory() if protocol_factory is not None \
+            else protocol
+        deltas = _enabled_deltas(net, proto, config)
+        nexts = []
+        if not deltas:
+            silent_keys.add(key)
+            if is_legal is not None and not is_legal(config):
+                result.illegal_silent.append(config)
+            if accepts is not None and is_legal is not None:
+                if bool(accepts(config)) != bool(is_legal(config)):
+                    result.fake_certified.append(config)
+        else:
+            seen_next = set()
+            for subset in _subsets(deltas):
+                nxt = {v: dict(state) for v, state in config.items()}
+                for v, delta in subset:
+                    nxt[v].update(delta)
+                nkey = _canon(net, names, nxt)
+                if nkey not in seen_next:
+                    seen_next.add(nkey)
+                    nexts.append(nkey)
+            result.transitions += len(nexts)
+        succs[key] = nexts
+        for nkey in nexts:
+            if nkey not in succs:
+                frontier.append(nkey)
+
+    result.states = len(succs)
+    result.silent_states = len(silent_keys)
+
+    # cycle search (iterative DFS, white/grey/black) over the explored
+    # subgraph; unexplored frontier nodes (truncation) are treated as
+    # leaves — with truncated=False the graph is complete.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[object, int] = {}
+    for root in succs:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack = [(root, iter(succs.get(root, ())))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                c = color.get(nxt, WHITE)
+                if c == GREY:
+                    # back edge: extract the cycle from the grey path
+                    i = path.index(nxt)
+                    result.cycle = [_thaw(net, names, k) for k in path[i:]]
+                    return result
+                if c == WHITE and nxt in succs:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(succs.get(nxt, ()))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return result
+
+
+def check_certifier(certifier: LocalCertifier, n: int = 4, *,
+                    seed: int = 1, corruption_draws: int = 2,
+                    max_corruptions: int | None = None,
+                    max_states: int = 50_000,
+                    shared_oracle: bool = False) -> ModelCheckResult:
+    """Model-check one task: closure at the certified legitimate
+    configuration plus convergence from every sampled single-register
+    corruption of it, under all daemon choices.
+
+    Defaults to fresh-instance (Markov) semantics — the exact protocol
+    state machine.  ``shared_oracle=True`` switches to the
+    shared-instance over-approximation (see the module docstring): a
+    stronger bug-finder whose violations must be confirmed against real
+    semantics before being read as protocol bugs, since cross-branch
+    memo pollution (including decision retirements from other branches)
+    realizes oracle histories no single execution can.
+    """
+    net = certifier.build_network(n, seed=seed)
+    proto = certifier.protocol()
+    names = set(proto.register_spec(net).names)
+    legit = certifier.legitimate(net)
+    # strip assigner-only certificate fields: the dynamics run on the
+    # protocol's registers; the static corruption suite covers the rest
+    runtime = {v: {f: s for f, s in state.items() if f in names}
+               for v, state in legit.items()}
+
+    starts = [runtime]
+    rng = random.Random(seed + 1)
+    spec = proto.register_spec(net)
+    count = 0
+    for v, fld, value in single_register_corruptions(
+            net, certifier, runtime, rng, draws=corruption_draws):
+        if fld not in spec.names:
+            continue
+        if max_corruptions is not None and count >= max_corruptions:
+            break
+        count += 1
+        cfg = {u: dict(s) for u, s in runtime.items()}
+        cfg[v][fld] = value
+        starts.append(cfg)
+
+    def is_legal(config):
+        return certifier.is_legal(net, config)
+
+    def accepts(config):
+        try:
+            decorated = certifier.certify(net, config)
+        except (ValueError, KeyError, TypeError):
+            return False
+        return certifier.verify(net, decorated).accepted
+
+    return explore(net, proto, starts, max_states=max_states,
+                   is_legal=is_legal, accepts=accepts,
+                   protocol_factory=None if shared_oracle
+                   else certifier.protocol)

@@ -28,7 +28,9 @@ Rule groups (every step writes the whole register atomically):
    (self-correcting: spurious marks collapse);
 4. *size rules*: marked nodes prune top-down (a node prunes when its parent
    is pruned or it is the root); unmarked nodes recompute ``1 + sum of
-   children`` bottom-up once every child is concrete; overflow (> N) resets;
+   children`` bottom-up once every child is concrete; overflow (> N) prunes
+   the size entry (a full reset would discard valid election state and feed
+   the central-daemon livelock, see ``_best_claim``);
 5. *distance rules*: children of a node with a pending switch prune; NONE
    propagates downward; otherwise ``d = d(parent) + 1`` chases, and
    overflow (>= N) resets — this is what flushes parent-pointer cycles.
@@ -79,6 +81,16 @@ class MalleableTreeProtocol(Protocol):
     """Tree maintenance + the Section IV switch, as one guarded-rule layer."""
 
     name = "malleable-tree"
+    #: fast_step filters every field against the current register before
+    #: returning, so the engine's per-proposal no-op scan is redundant
+    exact_deltas = True
+
+    def __init__(self) -> None:
+        # per-network constant cache (see repro.core.sst): n_bound is an
+        # incorruptible constant, re-reading it through attribute hops per
+        # transition evaluation is measurable at engine call rates
+        self._bound_net: Network | None = None
+        self._bound = -1
 
     def register_spec(self, net: Network) -> RegisterSpec:
         return RegisterSpec([
@@ -94,54 +106,89 @@ class MalleableTreeProtocol(Protocol):
     # the transition function
     # ------------------------------------------------------------------
 
-    def step(self, view: NodeView) -> dict | None:
-        cur = view.state
-        intended = self._intended(view)
-        delta = {k: v for k, v in intended.items() if cur[k] != v}
+    def fast_step(self, net: Network, config, me: int,
+                  nbr_rows) -> dict | None:
+        """The transition rule on raw engine state (see Protocol.fast_step).
+
+        This is the single implementation of the rule; :meth:`step` is a
+        thin NodeView adapter over it, so the engine's fast path and the
+        from-scratch rescan cannot disagree.
+        """
+        own = config[me]
+        intended = self._intended(net, config, me, nbr_rows)
+        delta = {k: v for k, v in intended.items() if own[k] != v}
         return delta or None
 
-    def _intended(self, view: NodeView) -> dict:
-        me = view.id
-        rid, par = view["rid"], view["par"]
-        d, s, swt = view["d"], view["s"], view["swt"]
+    def step(self, view: NodeView) -> dict | None:
+        return self.fast_step(view.net, view._config, view.node,
+                              view.nbr_states())
+
+    def _intended(self, net: Network, config, me: int, rows) -> dict:
+        if net is not self._bound_net:
+            self._bound_net = net
+            self._bound = net.n_bound
+        bound = self._bound
+        own = config[me]
+        rid, par = own["rid"], own["par"]
+        d, s, swt = own["d"], own["s"], own["swt"]
 
         # ---- 1. construction / adoption --------------------------------
-        rebuilt = self._structural(view)
+        rebuilt = self._structural(net, config, me, rows, bound)
         if rebuilt is not None:
             return rebuilt
         # here: par is NONE with rid == me, or par is a neighbor sharing rid
 
-        new_mark = self._trigger(view)
+        # mark = I am w (child requests a switch) or w' (a neighbor
+        # targets me) or the wave is climbing through me (a marked child)
+        new_mark = False
+        for _, st in rows:
+            if st["par"] == me and (st["swt"] is not NONE or st["mark"]):
+                new_mark = True
+                break
+            if st["swt"] == me:
+                new_mark = True
+                break
 
         # ---- 2. switching ----------------------------------------------
         new_par, new_d = par, d
         new_swt = swt
         if swt is not NONE:
-            if not self._switch_request_sane(view):
+            if not self._switch_request_sane(net, config, me, own):
                 new_swt = NONE
-            elif self._switch_ready(view):
+            elif self._switch_ready(config, me, own, rows, bound):
                 new_par = swt
-                new_d = view.nbr(swt)["d"] + 1
+                new_d = config[swt]["d"] + 1
                 new_swt = NONE
             # else: hold everything, waiting for the waves
 
         # ---- 4. size rules ---------------------------------------------
-        children = [u for u in view.neighbors if view.nbr(u)["par"] == me]
         new_s = s
         if new_mark:
             parent_pruned = (new_par is NONE
-                             or view.nbr(new_par)["s"] is NONE)
+                             or config[new_par]["s"] is NONE)
             if parent_pruned:
                 new_s = NONE
             # else: hold s until the prune wave descends to the parent
         else:
-            child_sizes = [view.nbr(c)["s"] for c in children]
-            if all(cs is not NONE for cs in child_sizes):
-                total = 1 + sum(child_sizes)
-                if total > view.n_bound:
-                    return self._self_root(view)
-                new_s = total
-            # else: hold (a wave below is still collapsing)
+            total = 1
+            for _, st in rows:
+                if st["par"] == me:
+                    cs = st["s"]
+                    if cs is NONE:
+                        total = None  # hold (a wave below is collapsing)
+                        break
+                    total += cs
+            if total is not None:
+                # overflow (> N) *prunes* the size instead of resetting
+                # the whole register: the election state (rid, par, d)
+                # may be perfectly valid while children claim junk
+                # sizes, and a full reset reseeds fresh d = 0 claims
+                # that let a deterministic central daemon cycle size
+                # inflation against the distance flush forever.  Sizes
+                # on genuine trees never exceed n <= N, so legal
+                # operation is unaffected; parent cycles are flushed by
+                # the distance chase, whose own overflow still resets.
+                new_s = NONE if total > bound else total
 
         # ---- 5. distance rules ------------------------------------------
         if new_par is NONE:
@@ -149,15 +196,15 @@ class MalleableTreeProtocol(Protocol):
         elif new_par == swt and new_swt is NONE and swt is not NONE:
             pass  # new_d already set by the switch
         else:
-            pst = view.nbr(new_par)
+            pst = config[new_par]
             if pst["swt"] is not NONE:
                 new_d = NONE          # pre-switch pruning below the initiator
             elif pst["d"] is NONE:
                 new_d = NONE          # pruning propagates downward
             else:
                 want = pst["d"] + 1
-                if want >= view.n_bound:
-                    return self._self_root(view)
+                if want >= bound:
+                    return self._self_root(me)
                 new_d = want
 
         # (NONE, NONE) labels are forbidden by the scheme and never arise in
@@ -165,7 +212,19 @@ class MalleableTreeProtocol(Protocol):
         # reaching it — e.g. on a parent cycle where neither counter can
         # settle — resets, which is what breaks such cycles
         if new_d is NONE and new_s is NONE:
-            return self._self_root(view)
+            return self._self_root(me)
+        # marked ∧ distance-pruned is equally forbidden: marks live on the
+        # two root paths of a switch (which keep d and prune s) while
+        # distance prunes live strictly below the initiator (disjoint in
+        # every legal wave, since the new parent sits outside the moving
+        # subtree).  Without this reset a parent cycle can freeze forever:
+        # the members mutually sustain each other's marks, the mark hold
+        # rule freezes their (inconsistent) sizes, and the d = NONE prune
+        # wave never bottoms out — a silent illegal configuration the
+        # small-n model checker found.  Initiators holding a live switch
+        # request are exempt (they hold everything by design).
+        if new_mark and new_d is NONE and new_swt is NONE:
+            return self._self_root(me)
         return {"rid": rid, "par": new_par, "d": new_d, "s": new_s,
                 "mark": new_mark, "swt": new_swt}
 
@@ -173,25 +232,25 @@ class MalleableTreeProtocol(Protocol):
     # rule helpers
     # ------------------------------------------------------------------
 
-    def _structural(self, view: NodeView) -> dict | None:
+    def _structural(self, net: Network, config, me: int, rows,
+                    bound: int) -> dict | None:
         """The SST-style adoption layer; None when structurally sound."""
-        me = view.id
-        rid, par = view["rid"], view["par"]
-        broken = False
+        own = config[me]
+        rid, par = own["rid"], own["par"]
         if par is NONE:
             broken = rid != me
         else:
-            broken = (par not in view.neighbors
-                      or view.nbr(par)["rid"] != rid
+            broken = (par not in net.neighbor_set(me)
+                      or config[par]["rid"] != rid
                       or rid >= me)
         # a visibly better root claim makes the node out of date
-        best = self._best_claim(view)
+        best = self._best_claim(me, rows, bound)
         if not broken and best is not None and best[0] < rid:
             broken = True
         if not broken:
             return None
         if best is None or best[0] >= me:
-            return self._self_root(view)
+            return self._self_root(me)
         brid, bd, bpar = best
         # s = 1 is a concrete placeholder: the bottom-up size fixpoint
         # corrects it, and concreteness keeps the (NONE, NONE) reset rule
@@ -199,63 +258,74 @@ class MalleableTreeProtocol(Protocol):
         return {"rid": brid, "par": bpar, "d": bd + 1, "s": 1,
                 "mark": False, "swt": NONE}
 
-    def _best_claim(self, view: NodeView):
-        """The best adoptable neighbor claim (rid, d, neighbor) or None."""
+    @staticmethod
+    def _best_claim(me: int, rows, bound: int):
+        """The best adoptable neighbor claim (rid, d, neighbor) or None.
+
+        Election-layer soundness guard: a claim only counts when its
+        holder's labels could actually support a child right now — both
+        counters concrete, no pending switch, unmarked.  Without the
+        guard a deterministic central daemon can starve the election
+        forever: a broken node adopts a claim whose holder is mid-switch
+        junk, the distance/size rules immediately prune the adopted
+        labels to the forbidden ``(NONE, NONE)`` pair, the reset rule
+        self-roots the node, and the better-claim check re-adopts — a
+        two-step oscillation with no local fixpoint, so the node is
+        always enabled and the adversary (e.g. central-max-id) never has
+        to schedule anyone else.  With the guard the node settles
+        (self-rooted) until its neighborhood clears, forcing the daemon
+        to schedule the nodes that actually make progress.
+        """
         best = None
-        for u in view.neighbors:
-            st = view.nbr(u)
+        for u, st in rows:
             rid_u, d_u = st["rid"], st["d"]
-            if not isinstance(rid_u, int) or rid_u >= view.id:
+            if not isinstance(rid_u, int) or rid_u >= me:
                 continue
             if d_u is NONE or not isinstance(d_u, int):
                 continue
-            if d_u + 1 >= view.n_bound:
+            if d_u + 1 >= bound:
                 continue
+            if st["s"] is NONE or st["mark"] or st["swt"] is not NONE:
+                continue  # holder cannot support a child mid-switch
             cand = (rid_u, d_u, u)
             if best is None or cand < best:
                 best = cand
         return best
 
-    def _self_root(self, view: NodeView) -> dict:
-        return {"rid": view.id, "par": NONE, "d": 0, "s": 1,
+    @staticmethod
+    def _self_root(me: int) -> dict:
+        return {"rid": me, "par": NONE, "d": 0, "s": 1,
                 "mark": False, "swt": NONE}
 
-    def _trigger(self, view: NodeView) -> bool:
-        """mark = I am w (child requests a switch) or w' (a neighbor targets
-        me) or the wave is climbing through me (a marked child)."""
-        me = view.id
-        for u in view.neighbors:
-            st = view.nbr(u)
-            if st["par"] == me and (st["swt"] is not NONE or st["mark"]):
-                return True
-            if st["swt"] == me:
-                return True
-        return False
-
-    def _switch_request_sane(self, view: NodeView) -> bool:
-        swt = view["swt"]
-        if swt not in view.neighbors:
+    @staticmethod
+    def _switch_request_sane(net: Network, config, me: int, own) -> bool:
+        swt = own["swt"]
+        if swt not in net.neighbor_set(me):
             return False
-        if view["par"] is NONE or swt == view["par"]:
+        if own["par"] is NONE or swt == own["par"]:
             return False
-        return view.nbr(swt)["rid"] == view["rid"]
+        st = config[swt]
+        if st["par"] == me:
+            # re-parenting onto one's own child can never become ready:
+            # the wave requires the target to keep a concrete distance,
+            # but a child of the initiator prunes its distance — a
+            # contradiction only corrupted/stale requests can ask for
+            return False
+        return st["rid"] == own["rid"]
 
-    def _switch_ready(self, view: NodeView) -> bool:
+    @staticmethod
+    def _switch_ready(config, me: int, own, rows, bound: int) -> bool:
         """Fig. 1(b): w and w' both (d, _), all children (_, s), self intact."""
-        me = view.id
-        w = view["par"]
-        wp = view["swt"]
-        wst, wpst = view.nbr(w), view.nbr(wp)
+        wst, wpst = config[own["par"]], config[own["swt"]]
         if wst["s"] is not NONE or wst["d"] is NONE:
             return False
         if wpst["s"] is not NONE or wpst["d"] is NONE:
             return False
-        if wpst["d"] + 1 >= view.n_bound:
+        if wpst["d"] + 1 >= bound:
             return False
-        if view["d"] is NONE or view["s"] is NONE:
+        if own["d"] is NONE or own["s"] is NONE:
             return False
-        for u in view.neighbors:
-            st = view.nbr(u)
+        for _, st in rows:
             if st["par"] == me:
                 if st["d"] is not NONE or st["s"] is NONE:
                     return False

@@ -25,10 +25,17 @@ Self-stabilization is hierarchical: the tree layer recovers structure; the
 phase/ack/candidate fields are self-correcting on the stable tree; a
 spurious phase or stale candidate can cause at most a bounded number of
 valid-but-useless switches before genuine WORK data drives real progress.
+
+Every layer here reads only its 1-hop neighborhood.  The MST/MDST
+detector decision is consulted through the certificate-backed oracle of
+:mod:`repro.certify.oracle` — register-carried subtree digests plus a
+digest-keyed write-once memo — so the compositions run with
+``read_locality = "neighborhood"`` on the incremental engine.
 """
 
 from __future__ import annotations
 
+from repro.certify.oracle import CertifiedOracle, DigestLayer
 from repro.core.swap import MalleableTreeProtocol, tree_of_config
 from repro.core.trees import RootedTree
 from repro.graphs.network import Network
@@ -88,15 +95,19 @@ def _label_bits(net, value) -> int:
 
 
 class PhaseLayer(Protocol):
-    """Shared phase/ack machinery.  Subclasses define the task hooks."""
+    """Shared phase/ack machinery.  Subclasses define the task hooks.
+
+    Every rule of this layer — phase copy-down, candidate aggregation,
+    acknowledgements, and the root transition — reads only the 1-hop
+    neighborhood.  The oracle-consulting subclasses keep that property by
+    consulting their detector through the certificate-backed
+    :class:`repro.certify.oracle.CertifiedOracle` (digest-keyed, write-once
+    memo), so the whole family runs with the default
+    ``read_locality = "neighborhood"`` on the incremental engine.
+    """
 
     name = "phase-layer"
     phases: tuple[str, ...] = (WORK, SWAP)
-    #: next_phase consults the oracle over the whole configuration
-    #: (tree_of_config + remote NCA labels), so a write anywhere can flip
-    #: this layer's enabledness — the engine must not cache proposals
-    #: across non-neighbor writes.
-    read_locality = "global"
 
     # ------------------------------------------------------------------
     # task hooks
@@ -244,29 +255,49 @@ class GuidedBFS(PhaseLayer):
             return SWAP, (u, v)
         return WORK, NONE  # SWAP acked -> back to work
 
+    @staticmethod
+    def _commanded_switch(view: NodeView, bc):
+        """The still-executable switch command ``(u, v)`` addressed to this
+        node, or None.
+
+        A SWAP broadcast that is not (or no longer) a legal *improving*
+        switch — target not a neighbor, root identity disagreement, or
+        ``d(v) + 1 < d(u)`` failing — is treated as complete rather than
+        pending: a corrupted broadcast can command a switch the tree
+        layer will never accept (e.g. re-parenting onto the node's own
+        subtree), and waiting for it would wedge the phase machinery in
+        SWAP forever (a silent illegal island, or a livelock of raise /
+        sanity-clear cycles — both found by the small-n model checker).
+        Acking instead lets the root flush the phase and retry from
+        genuine WORK data.
+        """
+        if bc is NONE or not (isinstance(bc, tuple) and len(bc) == 2):
+            return None
+        u, v = bc
+        if view.id != u or view["par"] == v:
+            return None
+        st = view.nbr_or_none(v)
+        if st is None or st["rid"] != view["rid"]:
+            return None
+        du, dv = view["d"], st["d"]
+        if not (isinstance(du, int) and isinstance(dv, int) and dv + 1 < du):
+            return None
+        return u, v
+
     def phase_done(self, view: NodeView, phase: str) -> bool:
         if phase != SWAP:
             return True
-        bc = view["bc"]
-        if bc is NONE or len(bc) != 2:
-            return True
-        u, v = bc
-        if view.id != u:
-            return True
-        return view["par"] == v  # the designated switcher has re-parented
+        # done = re-parented, not addressed, or command impossible (abort)
+        return self._commanded_switch(view, view["bc"]) is None
 
     def extra_rules(self, view: NodeView, intended: dict) -> None:
         # the designated switcher raises the tree-layer request
         if intended.get("ph") != SWAP:
             return
-        bc = intended.get("bc", view["bc"])
-        if bc is NONE or len(bc) != 2:
+        cmd = self._commanded_switch(view, intended.get("bc", view["bc"]))
+        if cmd is None or view["swt"] is not NONE or view["par"] is NONE:
             return
-        u, v = bc
-        if view.id != u or view["par"] == v or view["swt"] is not NONE:
-            return
-        if v in view.neighbors and view["par"] is not NONE:
-            intended["swt"] = v
+        intended["swt"] = cmd[1]
 
     # ------------------------------------------------------------------
 
@@ -408,7 +439,14 @@ class ChainSwapMixin:
             return False, None
         if view.id == a:
             return True, b
-        if not (label_is_ancestor(lam, lam_a) and label_is_ancestor(lam_x, lam)):
+        # label comparisons may raise on corrupted labels (e.g. two labels
+        # claiming different root apexes); any such junk simply means this
+        # node is not on the chain
+        try:
+            if not (label_is_ancestor(lam, lam_a)
+                    and label_is_ancestor(lam_x, lam)):
+                return False, None
+        except (TypeError, ValueError):
             return False, None
         # my former chain child: the unique neighbor strictly below me on
         # the path toward a (frozen pre-swap labels)
@@ -419,19 +457,76 @@ class ChainSwapMixin:
                 continue
             try:
                 zlam = NCALabel(tuple(zlam_raw))
+                if (label_is_ancestor(lam, zlam)
+                        and label_is_ancestor(zlam, lam_a)
+                        and _lam_depth(zlam.segments) == my_depth + 1):
+                    return True, z
             except (TypeError, ValueError):
                 continue
-            if (label_is_ancestor(lam, zlam)
-                    and label_is_ancestor(zlam, lam_a)
-                    and _lam_depth(zlam.segments) == my_depth + 1):
-                return True, z
         return False, None
+
+    @staticmethod
+    def _endpoint_feasible(view: NodeView, bc) -> bool:
+        """Whether the chain endpoint's commanded re-parent can still be
+        the decided improvement.
+
+        A genuine payload satisfies all three checks: the endpoint's own
+        label still equals the payload's frozen ``lam_a`` (the decision
+        was made about *this* node in *this* position — a mismatch means
+        the payload is stale or was decided over junk labels), the
+        target is not currently the endpoint's child (a direct register
+        check no corrupted label can fool), and the target's label does
+        not descend from ``lam_a`` (``b`` sits outside the detached
+        subtree by construction).  An infeasible command can never
+        become ready; its raise prunes the target's distance and marks
+        it, and the resulting raise/reset churn is a daemon cycle (three
+        variants found by the small-n model checker).  Such commands are
+        refused and acked as complete so the root flushes the phase,
+        retires the decision, and re-consults on the current tree.
+        """
+        st = view.nbr_or_none(bc[1])
+        if st is None:
+            return False
+        if st.get("par") == view.id:
+            return False  # the target is currently my own child
+        lam_b_raw = st.get("lam")
+        own_lam = view["lam"]
+        if lam_b_raw in (None, NONE) or own_lam in (None, NONE):
+            return False
+        try:
+            if tuple(own_lam) != tuple(bc[3]):
+                return False  # stale: I am no longer the decided endpoint
+            lam_a = NCALabel(tuple(bc[3]))
+            lam_b = NCALabel(tuple(lam_b_raw))
+            return not label_is_ancestor(lam_a, lam_b)
+        except (TypeError, ValueError):
+            return False
 
     def chain_phase_done(self, view: NodeView, bc) -> bool:
         on_chain, target = self._chain_role(view, bc)
         if not on_chain:
             return True
-        return view["par"] == target
+        if view["par"] == target:
+            return True
+        # impossible commands are acked as complete (abort) instead of
+        # waited on: the tree layer would never accept such a request
+        # (see _switch_request_sane), so holding the ack would wedge the
+        # phase in SWAP forever on a corrupted or stale broadcast
+        st = view.nbr_or_none(target)
+        if st is None or st["rid"] != view["rid"]:
+            return True
+        if view.id == bc[0] and not self._endpoint_feasible(view, bc):
+            return True
+        # the chain executes bottom-up: my turn comes once my former
+        # chain child has re-parented.  If that child is still attached
+        # to me but has *acknowledged* the SWAP phase, the chain below
+        # me is dead — its endpoint refused an infeasible command — and
+        # waiting would wedge the phase: ack too, so the abort cascades
+        # up and the root can flush and re-consult.
+        if (view.id != bc[0] and st["par"] == view.id
+                and st.get("ack") and st.get("ph") == SWAP):
+            return True
+        return False
 
     def chain_extra_rules(self, view: NodeView, intended: dict) -> None:
         if intended.get("ph") != SWAP:
@@ -444,14 +539,29 @@ class ChainSwapMixin:
             return
         if target not in view.neighbors:
             return
+        # only raise requests the tree layer would accept (rid agreement,
+        # see _switch_request_sane) — re-raising an insane request fights
+        # the sanity rule forever on corrupted broadcasts
+        tst = view.nbr(target)
+        if tst["rid"] != view["rid"]:
+            return
         if view.id == bc[0]:
-            # the subtree endpoint fires first, unconditionally
-            intended["swt"] = target
+            # the subtree endpoint fires first — but never toward its own
+            # (label-judged) descendant, see _endpoint_feasible
+            if self._endpoint_feasible(view, bc):
+                intended["swt"] = target
         else:
             # an inner chain node fires once its former child has left it
-            tst = view.nbr(target)
             if tst["par"] != view.id and tst["swt"] is NONE:
                 intended["swt"] = target
+
+
+#: register fields the MST/MDST detectors read: the tree structure and
+#: the NCA labels carried in the SWAP payloads.  The subtree digests of
+#: the certificate-backed oracle cover exactly these, so a change to any
+#: of them anywhere reaches the consulting root as a chain of ordinary
+#: 1-hop register writes.
+ORACLE_DIGEST_FIELDS = ("par", "lam")
 
 
 class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
@@ -459,23 +569,47 @@ class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
 
     The *execution* is fully distributed (tree layer, NCA labels, chain
     switches, phase waves).  The *detector's decision* — which ``(e, f)``
-    to swap next — is computed at the root from the global configuration.
-    The paper's companion report [14] implements this decision with
-    convergecast/broadcast waves over the same certificates (Boruvka
-    traces for MST, FR marks/witnesses for MDST); we reproduce those
-    certificates and their verifiers sequentially
-    (:mod:`repro.labeling.mst_pls`, :mod:`repro.labeling.fr_pls`) and keep
-    the wave-level detector out of scope — see DESIGN.md, substitution 6.
-    Space claims are measured on the certificates; round measurements
-    cover construction, labeling and switching.
+    to swap next — is computed at the root.  The paper's companion report
+    [14] implements this decision with convergecast/broadcast waves over
+    the same certificates (Boruvka traces for MST, FR marks/witnesses for
+    MDST); we reproduce those certificates and their verifiers in
+    :mod:`repro.labeling.mst_pls` / :mod:`repro.labeling.fr_pls` and
+    :mod:`repro.certify.schemes`, and keep the wave-level detector out of
+    scope — see DESIGN.md, substitution 6.
+
+    The decision procedure is consulted through the certificate-backed
+    oracle (:mod:`repro.certify.oracle`): the root keys every consult by
+    the digest its 1-hop neighborhood dictates, and the digest chain
+    carried in the ``ver`` registers guarantees a remote change of any
+    oracle-relevant field reaches the root as ordinary neighborhood
+    writes.  The root's rule is therefore a pure function of its 1-hop
+    view (plus the write-once memo shared by every evaluation path), and
+    the composition runs with ``read_locality = "neighborhood"``.
     """
 
     phases = (WORK, SWAP)
+
+    def __init__(self, digest: DigestLayer) -> None:
+        self._digest = digest
+        self._oracle = CertifiedOracle()
+        #: the digest key the outstanding SWAP payload was issued under;
+        #: compared at flush time to retire decisions that moved nothing
+        self._issued_key: int | None = None
 
     def own_candidate(self, view: NodeView):
         return NONE
 
     def labels_settled(self, view: NodeView) -> bool:
+        # No explicit digest check is needed here: the DigestLayer runs
+        # earlier in the same composed atomic step, so any ack write is
+        # accompanied by a collateral refresh of the node's own ``ver``
+        # — acked children always carry their current subtree digest,
+        # which is what keys the root's consult.  Residual staleness
+        # windows (an ack bit written before a later remote change) are
+        # bounded by the one-shot retirement in :meth:`next_phase`: a
+        # decision whose SWAP moved nothing is never replayed under the
+        # same key.  (A register-vs-expected comparison here would be
+        # tautological for exactly the layer-ordering reason above.)
         return _nca_settled_at(view)
 
     def phase_done(self, view: NodeView, phase: str) -> bool:
@@ -492,12 +626,16 @@ class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
         """The next (e, f) improvement, or None when the tree is legal."""
         raise NotImplementedError
 
-    def next_phase(self, view: NodeView, phase: str, cand):
-        if phase == SWAP:
-            return WORK, NONE
-        net = view.net
+    def _decide(self, net: Network, config):
+        """The detector: the next SWAP payload, or None (stay silent).
+
+        Runs once per distinct subtree digest (see
+        :class:`~repro.certify.oracle.CertifiedOracle`); reads the global
+        configuration, which is sound exactly because the digest key
+        certifies that content to the consulting root.
+        """
         try:
-            tree = tree_of_config(net, view._config)  # oracle: global read
+            tree = tree_of_config(net, config)
         except ValueError:
             return None
         pair = self.oracle_next_swap(net, tree)
@@ -509,11 +647,35 @@ class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
         detached = tree.subtree_nodes(x)
         a = e[0] if e[0] in detached else e[1]
         b = e[1] if a == e[0] else e[0]
-        lam_a = view._config[a]["lam"]
-        lam_x = view._config[x]["lam"]
+        lam_a = config[a]["lam"]
+        lam_x = config[x]["lam"]
         if lam_a in (None, NONE) or lam_x in (None, NONE):
-            return None  # labels not ready; ack discipline will retry
-        return SWAP, (a, b, x, tuple(lam_a), tuple(lam_x))
+            return None  # labels not ready; the next label write re-keys
+        return (a, b, x, tuple(lam_a), tuple(lam_x))
+
+    def next_phase(self, view: NodeView, phase: str, cand):
+        key = self._digest.expected(view)
+        if phase == SWAP:
+            # flush back to WORK; a completed SWAP that left the digest
+            # unchanged moved none of the registers the decision was
+            # about — the payload was stale or infeasible, and replaying
+            # it on the next recurrence of the same key would be a
+            # livelock.  Retire it (one shot per key).
+            if self._issued_key is not None and key == self._issued_key:
+                self._oracle.retire(key)
+            self._issued_key = None
+            return WORK, NONE
+        net = view.net
+        config = view._config
+        payload = self._oracle.consult(
+            key, lambda: self._decide(net, config))
+        if payload is None:
+            return None
+        # recording the issuance key is idempotent across re-evaluations
+        # of this same guard state and does not affect this evaluation's
+        # result, so cached proposals and rescans stay in agreement
+        self._issued_key = key
+        return SWAP, payload
 
 
 class GuidedMST(_OracleGuidedTask):
@@ -542,7 +704,8 @@ class GuidedMDST(_OracleGuidedTask):
 
     name = "guided-mdst"
 
-    def __init__(self) -> None:
+    def __init__(self, digest: DigestLayer) -> None:
+        super().__init__(digest)
         self._plan: list = []
         self._plan_tree_edges: frozenset | None = None
 
@@ -550,6 +713,16 @@ class GuidedMDST(_OracleGuidedTask):
         from repro.core.fr import (fr_marking, improvement_session,
                                    _direct_improvement)
         edges = frozenset(tree.edges())
+        if self._plan and self._plan_tree_edges != edges:
+            # a chain swap landed since the plan was made: if the head's
+            # inserted edge materialized, advance to the plan's tail;
+            # otherwise the plan derailed (faults) and is dropped
+            e, _ = self._plan[0]
+            if tuple(sorted(e)) in edges:
+                self._plan.pop(0)
+                self._plan_tree_edges = edges
+            else:
+                self._plan = []
         if self._plan and self._plan_tree_edges == edges:
             e, f = self._plan[0]
             return e, f
@@ -571,21 +744,6 @@ class GuidedMDST(_OracleGuidedTask):
         self._plan_tree_edges = edges
         return self._plan[0]
 
-    def next_phase(self, view: NodeView, phase: str, cand):
-        move = super().next_phase(view, phase, cand)
-        if phase == SWAP and self._plan:
-            # the swap just acked corresponds to the plan head; the next
-            # WORK phase revalidates against the mutated tree
-            e, _ = self._plan[0]
-            try:
-                tree = tree_of_config(view.net, view._config)
-                if tuple(sorted(e)) in tree.edges():
-                    self._plan.pop(0)
-                    self._plan_tree_edges = frozenset(tree.edges())
-            except ValueError:
-                self._plan = []
-        return move
-
     def is_legal(self, net: Network, config) -> bool:
         from repro.core.fr import is_fr_tree
         try:
@@ -597,14 +755,16 @@ class GuidedMDST(_OracleGuidedTask):
 
 def guided_mst_protocol() -> ComposedProtocol:
     """The full silent self-stabilizing MST construction (Corollary 6.1)."""
+    digest = DigestLayer(fields=ORACLE_DIGEST_FIELDS)
     return ComposedProtocol(
-        [MalleableTreeProtocol(), NCALabelLayer(), GuidedMST()],
+        [MalleableTreeProtocol(), NCALabelLayer(), digest, GuidedMST(digest)],
         name="guided-mst")
 
 
 def guided_mdst_protocol() -> ComposedProtocol:
     """The full silent self-stabilizing near-MDST construction
     (Corollary 8.1)."""
+    digest = DigestLayer(fields=ORACLE_DIGEST_FIELDS)
     return ComposedProtocol(
-        [MalleableTreeProtocol(), NCALabelLayer(), GuidedMDST()],
+        [MalleableTreeProtocol(), NCALabelLayer(), digest, GuidedMDST(digest)],
         name="guided-mdst")

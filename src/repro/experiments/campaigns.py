@@ -18,13 +18,14 @@ from repro.runtime.scheduler import ALL_SCHEDULER_FACTORIES
 __all__ = ["CAMPAIGNS", "get_campaign", "experiment_subset",
            "EXCLUDED_DAEMONS"]
 
-#: The deterministic max-id adversary can starve a node holding a stale
-#: root claim and use it to re-infect its neighborhood forever — the
-#: classical unfair-daemon election subtlety the paper sidesteps by
-#: delegating construction to ref [25] (see EXPERIMENTS.md, EXP-SCHED).
-EXCLUDED_DAEMONS: dict[tuple[str, str], str] = {
-    ("malleable-tree", "central-max-id"): "see [25] note",
-}
+#: Declared daemon exclusions (protocol, scheduler) -> reason.  Empty
+#: since the election layer gained its adoption-soundness guard: the
+#: former ``(malleable-tree, central-max-id)`` livelock — a broken node
+#: oscillating between adopting a claim its neighborhood cannot support
+#: and resetting — is fixed in :mod:`repro.core.swap`, so the schedulers
+#: campaign executes the full protocol x daemon grid (see EXPERIMENTS.md,
+#: EXP-SCHED).
+EXCLUDED_DAEMONS: dict[tuple[str, str], str] = {}
 
 
 def smoke(root_seed: int = 0) -> Campaign:
@@ -177,6 +178,42 @@ def nca(root_seed: int = 0) -> Campaign:
                     tuple(specs), root_seed)
 
 
+def certification(root_seed: int = 0) -> Campaign:
+    """EXP-CERT: every certified task stabilizes to a *locally certified*
+    configuration — the certificate assigner's decoration of the final
+    state is accepted by every node's neighborhood-only verifier (see
+    :mod:`repro.certify`); the records carry ``locally_certified``."""
+    specs = []
+    cases = [
+        ("sst", "random", {"n": 14, "seed": 31}, "arbitrary"),
+        ("adhoc-bfs", "random", {"n": 14, "seed": 31}, "arbitrary"),
+        ("guided-bfs", "random", {"n": 10, "seed": 32}, "arbitrary"),
+        ("nca-build", "random-tree", {"n": 12, "seed": 33}, "arbitrary"),
+        ("guided-mst", "random",
+         {"n": 10, "seed": 34, "weighted": True}, "random-tree"),
+        ("guided-mdst", "random",
+         {"n": 10, "extra_edges": 20, "seed": 35}, "random-tree"),
+    ]
+    for proto, topo, params, init in cases:
+        for sched in ("synchronous", "central-random"):
+            specs.append(ExperimentSpec(
+                experiment="EXP-CERT", protocol=proto,
+                topology=topo, topo_params=params,
+                scheduler=sched, init=init,
+                init_params={"seed": 36},
+                max_rounds=200_000))
+    # recovery is re-certified too: after k transient faults the system
+    # must return to a locally certified configuration
+    specs.append(ExperimentSpec(
+        experiment="EXP-CERT", protocol="guided-bfs",
+        topology="random", topo_params={"n": 10, "seed": 32},
+        scheduler="synchronous", init="arbitrary",
+        init_params={"seed": 36}, faults=3, max_rounds=200_000))
+    return Campaign("certification",
+                    "local certification of stabilized configurations",
+                    tuple(specs), root_seed)
+
+
 def structure(root_seed: int = 0) -> Campaign:
     """EXP-L41 / EXP-ABL / EXP-F2 / EXP-P81: the structural analyses."""
     specs = [
@@ -200,7 +237,8 @@ def structure(root_seed: int = 0) -> Campaign:
 
 def full(root_seed: int = 0) -> Campaign:
     """Every campaign above, in one sweep."""
-    parts = [schedulers, silence, bfs, mst, mdst, nca, structure, engine]
+    parts = [schedulers, silence, bfs, mst, mdst, nca, structure, engine,
+             certification]
     specs: list[ExperimentSpec] = []
     for part in parts:
         specs.extend(part(root_seed).specs)
@@ -218,6 +256,7 @@ CAMPAIGNS: dict[str, Callable[..., Campaign]] = {
     "mdst": mdst,
     "nca": nca,
     "structure": structure,
+    "certification": certification,
     "full": full,
 }
 

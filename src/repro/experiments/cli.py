@@ -151,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.perf.cli import register_bench
     register_bench(sub)
 
+    # the certification subsystem registers `python -m repro certify`
+    from repro.certify.cli import register_certify
+    register_certify(sub)
+
     campaign = sub.add_parser("campaign", help="declarative experiment sweeps")
     csub = campaign.add_subparsers(dest="subcommand", required=True)
 

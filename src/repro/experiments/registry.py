@@ -180,26 +180,37 @@ def _nca_build_metrics(net: Network, proto: Protocol, sim: Simulator,
 
 @dataclass(frozen=True)
 class ProtocolEntry:
-    """A runnable protocol plus its task-specific measurement hook.
+    """A runnable protocol plus its task-specific measurement hooks.
 
     ``extra_metrics(net, proto, sim, context) -> dict`` runs after the
     simulation and may add task-level columns (certificate bits, tree
     degree, potential of the start tree, ...) to the run record; it must
-    return JSON-plain values.
+    return JSON-plain values.  ``certifier`` names the task's
+    :mod:`repro.certify` local-certification scheme; when set, every run
+    records ``locally_certified`` — whether the final configuration,
+    decorated by the certificate assigner, is accepted by every node's
+    neighborhood-only verifier.
     """
 
     factory: Callable[[], Protocol]
     extra_metrics: Callable[..., dict[str, object]] | None = None
+    certifier: str | None = None
 
 
 PROTOCOLS: dict[str, ProtocolEntry] = {
-    "sst": ProtocolEntry(_make_sst),
+    "sst": ProtocolEntry(_make_sst, certifier="sst"),
     "malleable-tree": ProtocolEntry(_make_malleable),
-    "guided-bfs": ProtocolEntry(_make_guided_bfs, _bfs_metrics),
-    "guided-mst": ProtocolEntry(_make_guided_mst, _mst_metrics),
-    "guided-mdst": ProtocolEntry(_make_guided_mdst, _mdst_metrics),
-    "nca-build": ProtocolEntry(_make_nca_build, _nca_build_metrics),
-    "adhoc-bfs": ProtocolEntry(_make_adhoc_bfs),
+    "guided-bfs": ProtocolEntry(_make_guided_bfs, _bfs_metrics,
+                                certifier="guided-bfs"),
+    "guided-mst": ProtocolEntry(_make_guided_mst, _mst_metrics,
+                                certifier="guided-mst"),
+    "guided-mdst": ProtocolEntry(_make_guided_mdst, _mdst_metrics,
+                                 certifier="guided-mdst"),
+    "nca-build": ProtocolEntry(_make_nca_build, _nca_build_metrics,
+                               certifier="nca-build"),
+    # the ad hoc baseline shares SST's registers, so SST's certificate
+    # scheme certifies its stabilized configurations too
+    "adhoc-bfs": ProtocolEntry(_make_adhoc_bfs, certifier="sst"),
     "compact-mst": ProtocolEntry(_make_compact_mst),
     "bgr-mdst": ProtocolEntry(_make_bgr_mdst),
 }

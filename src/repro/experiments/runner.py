@@ -49,6 +49,17 @@ def _legality(proto, net, config):
         return None
 
 
+def _certified(certifier_key: str, net, config) -> bool:
+    """Whether the local verifiers accept the (decorated) configuration."""
+    from repro.certify.schemes import get_certifier
+    cert = get_certifier(certifier_key)
+    try:
+        decorated = cert.certify(net, config)
+    except (ValueError, KeyError, TypeError):
+        return False
+    return bool(cert.verify(net, decorated).accepted)
+
+
 def execute(spec: ExperimentSpec, root_seed: int = 0
             ) -> tuple[dict[str, Any], dict[str, Any]]:
     """Run one spec; returns ``(record, context)``.
@@ -111,6 +122,13 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
         # a silent algorithm performs zero further moves: certify over a
         # short observation window (cheap — the rounds are empty)
         metrics["confirmed_silent"] = sim.confirm_silent(extra_rounds=2)
+    if entry.certifier is not None:
+        # local certification: decorate the final configuration with the
+        # task's proof labels and run every node's neighborhood-only
+        # verifier (see repro.certify) — the record-level witness that
+        # the run ended in a *locally checkable* legitimate state
+        metrics["locally_certified"] = _certified(entry.certifier, net,
+                                                  sim.config)
 
     # task-level metrics describe the *stabilized* configuration the
     # rounds/silent/legal columns above describe — before any injected
@@ -129,6 +147,9 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
         metrics["recovery_moves"] = sim.moves - stab_moves
         metrics["recovered_silent"] = recovery.silent
         metrics["recovered_legal"] = _legality(proto, net, sim.config)
+        if entry.certifier is not None:
+            metrics["recovered_locally_certified"] = _certified(
+                entry.certifier, net, sim.config)
 
     base["metrics"] = metrics
     # run_seconds: the simulator runs alone (throughput numbers divide by

@@ -76,21 +76,32 @@ def _cmd_list() -> int:
     return 0
 
 
-def _print_comparison(diff: dict[str, Any]) -> None:
+def _print_comparison(diff: dict[str, Any],
+                      current: dict[str, Any] | None = None) -> None:
+    cur_workloads = (current or {}).get("workloads", {})
+
+    def rss(name: str) -> str:
+        # informational only: on Linux peak RSS is a process high-water
+        # mark, monotone across the workloads of one report
+        value = cur_workloads.get(name, {}).get("peak_rss_kb")
+        return f"{value:,}" if value else "-"
+
     rows = []
     for row in diff["rows"]:
         if row["status"] == "skipped":
-            rows.append((row["workload"], "-", "-", "-", "skipped: "
-                         + row["reason"]))
+            rows.append((row["workload"], "-", "-", "-", rss(row["workload"]),
+                         "skipped: " + row["reason"]))
         else:
             rows.append((row["workload"],
                          f"{row['baseline_mps']:,.0f}",
                          f"{row['current_mps']:,.0f}",
                          f"{row['slowdown']:.2f}x",
+                         rss(row["workload"]),
                          row["status"]))
     print(format_table(
         f"baseline comparison (regression = >{diff['tolerance']}x slower)",
-        ["workload", "baseline mv/s", "current mv/s", "slowdown", "status"],
+        ["workload", "baseline mv/s", "current mv/s", "slowdown",
+         "peak rss KiB", "status"],
         rows))
 
 
@@ -142,7 +153,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline = load_report(args.baseline)
         diff = compare_reports(report, baseline, tolerance=args.tolerance)
         if not args.quiet or not diff["ok"]:
-            _print_comparison(diff)
+            _print_comparison(diff, current=report)
         if not diff["ok"]:
             if diff["regressions"]:
                 print(f"PERF GATE FAILED: {', '.join(diff['regressions'])} "

@@ -15,6 +15,10 @@ The registry covers:
 * ``bfs``/``mst``/``mdst``/``nca`` family sweeps at n in {128, 512,
   2048}, budget-bounded so non-silent baselines (compact MST) and slow
   big-memory baselines (BGR MDST) measure *throughput*, not convergence;
+* ``guided-bfs``/``guided-mst``/``guided-mdst`` at n in {128, 512}: the
+  paper's own constructions, benchmarkable since the certificate-backed
+  oracle layer (:mod:`repro.certify.oracle`) flipped them to
+  neighborhood reads on the incremental engine;
 * ``smoke-*`` variants of each family at n = 48 for the CI perf gate.
 
 Workloads resolve through the experiment registries
@@ -183,6 +187,46 @@ def _build_registry() -> dict[str, Workload]:
         "nca", "nca-build", topology="random-tree",
         topo_for=lambda n: _params(n=n, seed=14),
         init="bfs-tree", round_budget=64)
+    # Guided constructions: the certificate-backed oracle layer flipped
+    # them to neighborhood reads, so they finally run on the incremental
+    # engine and are benchmarkable.  BFS measures recovery from an
+    # arbitrary configuration; MST/MDST measure label settling plus the
+    # detector/chain-switch improvement loop from a seeded random tree.
+    for n, rounds in ((128, 48), (512, 32)):
+        workloads.append(Workload(
+            name=f"guided-bfs-{n}", family="guided-bfs",
+            protocol="guided-bfs", topology="random",
+            topo_params=_params(n=n, seed=17),
+            init="arbitrary", init_params=_params(seed=4),
+            round_budget=rounds, tags=("full",)))
+    for n in (128, 512):
+        workloads.append(Workload(
+            name=f"guided-mst-{n}", family="guided-mst",
+            protocol="guided-mst", topology="random",
+            topo_params=_params(n=n, seed=18, weighted=True),
+            init="random-tree", init_params=_params(seed=5),
+            round_budget=32, move_budget=60_000, tags=("full",)))
+    for n, rounds in ((128, 16), (512, 12)):
+        workloads.append(Workload(
+            name=f"guided-mdst-{n}", family="guided-mdst",
+            protocol="guided-mdst", topology="random",
+            topo_params=_params(n=n, extra_edges=2 * n, seed=19),
+            init="random-tree", init_params=_params(seed=6),
+            round_budget=rounds, move_budget=30_000, tags=("full",)))
+    for family, init, init_seed in (("guided-bfs", "arbitrary", 4),
+                                    ("guided-mst", "random-tree", 5),
+                                    ("guided-mdst", "random-tree", 6)):
+        weighted = family == "guided-mst"
+        extra = {"extra_edges": 96} if family == "guided-mdst" else {}
+        workloads.append(Workload(
+            name=f"smoke-{family}-48", family=family, protocol=family,
+            topology="random",
+            topo_params=_params(n=48, seed=17,
+                                **({"weighted": True} if weighted else {}),
+                                **extra),
+            init=init, init_params=_params(seed=init_seed),
+            round_budget=16, move_budget=20_000, repeats=2,
+            tags=("smoke",)))
 
     registry: dict[str, Workload] = {}
     for w in workloads:

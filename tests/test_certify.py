@@ -1,0 +1,588 @@
+"""The local certification subsystem (repro.certify).
+
+Four pillars:
+
+* **Completeness** — the certificate assigner's decoration of each task's
+  legitimate configuration is accepted by every node's local verifier,
+  is legal, and is genuinely silent for the runtime protocol.
+* **Adversarial soundness** — every sampled single-register corruption of
+  a certified legitimate configuration is rejected by at least one
+  node's neighborhood-only verifier, or lands on another configuration
+  that is itself certified *and* legal (the SST alternate-parent case).
+* **The certificate-backed oracle** — guided protocols run with
+  ``read_locality = "neighborhood"``; the subtree digests settle to the
+  assigner's fixpoint; the memo makes the consulting rule deterministic
+  per digest.
+* **The model checker** — closure at the legitimate configuration and
+  convergence from corruptions under *all* daemon choices at small n,
+  plus detection of deliberately broken dynamics.
+"""
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.certify.modelcheck import check_certifier, explore
+from repro.certify.oracle import CertifiedOracle, DigestLayer, config_digest
+from repro.certify.schemes import (
+    CERTIFIERS,
+    get_certifier,
+    single_register_corruptions,
+)
+from repro.certify.space import measure_task, space_rows
+from repro.core.tasks import ORACLE_DIGEST_FIELDS, guided_mst_protocol
+from repro.graphs import random_connected_graph, ring
+from repro.runtime import Simulator, random_configuration
+from repro.runtime.protocol import Protocol
+from repro.runtime.registers import NONE, RegisterSpec, flag_field
+
+TASKS = sorted(CERTIFIERS)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _env():
+    import os
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+# ----------------------------------------------------------------------
+# completeness
+# ----------------------------------------------------------------------
+
+
+class TestLegitimateAccepted:
+    @pytest.mark.parametrize("task", TASKS)
+    @pytest.mark.parametrize("n", [6, 11])
+    def test_accepted_legal_and_silent(self, task, n):
+        cert = CERTIFIERS[task]
+        net = cert.build_network(n, seed=2)
+        cfg = cert.legitimate(net)
+        out = cert.verify(net, cfg)
+        assert out.accepted, f"rejecting nodes: {out.rejecting}"
+        assert cert.is_legal(net, cfg)
+        # the certified configuration is the runtime protocol's fixpoint
+        sim = Simulator(net, cert.protocol(), config=cfg)
+        assert sim.is_silent()
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_verifier_reads_one_hop_only(self, task):
+        """verify_node receives exactly the 1-hop neighborhood — locality
+        is structural, not a convention."""
+        cert = CERTIFIERS[task]
+        net = cert.build_network(9, seed=3)
+        cfg = cert.legitimate(net)
+        for v in net.nodes:
+            nbrs = [(u, cfg[u]) for u in net.neighbors(v)]
+            assert cert.verify_node(net, v, cfg[v], nbrs)
+
+    def test_stabilized_run_is_certified(self):
+        """A real execution's final configuration certifies, not just the
+        assigner's canonical one."""
+        cert = get_certifier("guided-bfs")
+        net = random_connected_graph(10, seed=7)
+        proto = cert.protocol()
+        sim = Simulator(net, proto,
+                        config=random_configuration(net, proto, seed=8))
+        assert sim.run(max_rounds=8000 * net.n).silent
+        decorated = cert.certify(net, sim.config)
+        assert cert.verify(net, decorated).accepted
+
+
+# ----------------------------------------------------------------------
+# adversarial soundness
+# ----------------------------------------------------------------------
+
+
+class TestCorruptionRejected:
+    @pytest.mark.parametrize("task", TASKS)
+    def test_every_single_register_corruption_rejected_or_legal(self, task):
+        cert = CERTIFIERS[task]
+        net = cert.build_network(8, seed=3)
+        base = cert.legitimate(net)
+        rng = random.Random(99)
+        total = 0
+        for v, field, value in single_register_corruptions(
+                net, cert, base, rng, draws=3):
+            total += 1
+            cfg = {u: dict(s) for u, s in base.items()}
+            cfg[v][field] = value
+            out = cert.verify(net, cfg)
+            if out.accepted:
+                # acceptance is only permitted when the corruption lands
+                # on another genuinely legitimate configuration
+                assert cert.is_legal(net, cfg), (
+                    f"certificate fake: node {v} field {field!r} "
+                    f"-> {value!r} accepted but illegal")
+        assert total > 50  # the sweep actually exercised the register
+
+    def test_rejection_is_local(self):
+        """A corruption is rejected by a node in the corrupted register's
+        own closed neighborhood (the verifier cannot point elsewhere)."""
+        cert = get_certifier("sst")
+        net = ring(8, seed=1)
+        base = cert.legitimate(net)
+        cfg = {u: dict(s) for u, s in base.items()}
+        victim = max(net.nodes)
+        cfg[victim]["d"] = (cfg[victim]["d"] + 3) % net.n_bound
+        out = cert.verify(net, cfg)
+        assert not out.accepted
+        closed = set(net.neighbors(victim)) | {victim}
+        assert set(out.rejecting) & closed
+
+
+# ----------------------------------------------------------------------
+# the certificate-backed oracle
+# ----------------------------------------------------------------------
+
+
+class TestCertifiedOracle:
+    def test_guided_protocols_declare_neighborhood_reads(self):
+        for task in ("guided-bfs", "guided-mst", "guided-mdst"):
+            assert CERTIFIERS[task].protocol().read_locality == "neighborhood"
+
+    def test_digest_layer_settles_to_assigner_fixpoint(self):
+        cert = get_certifier("guided-mst")
+        net = cert.build_network(9, seed=5)
+        proto = cert.protocol()
+        cfg = cert.legitimate(net)
+        # corrupt every ver register; the digest layer must rebuild the
+        # exact Merkle fixpoint the assigner computed
+        expected = {v: cfg[v]["ver"] for v in net.nodes}
+        for v in net.nodes:
+            cfg[v]["ver"] = (cfg[v]["ver"] + 1 + v) % (2 ** 64)
+        sim = Simulator(net, proto, config=cfg)
+        assert sim.run(max_rounds=100 * net.n).silent
+        assert {v: sim.config[v]["ver"] for v in net.nodes} == expected
+
+    def test_config_digest_matches_runtime_layer(self):
+        cert = get_certifier("guided-mst")
+        net = cert.build_network(8, seed=6)
+        cfg = cert.legitimate(net)
+        layer = DigestLayer(fields=ORACLE_DIGEST_FIELDS)
+        from repro.runtime.protocol import NodeView
+        want = config_digest(net, cfg, ORACLE_DIGEST_FIELDS)
+        for v in net.nodes:
+            assert layer.expected(NodeView(net, v, cfg)) == want[v]
+
+    def test_memo_is_write_once_per_key(self):
+        oracle = CertifiedOracle()
+        calls = []
+        assert oracle.consult(7, lambda: calls.append(1) or "a") == "a"
+        assert oracle.consult(7, lambda: calls.append(1) or "b") == "a"
+        assert oracle.consult(8, lambda: calls.append(1) or "b") == "b"
+        assert len(calls) == 2
+        assert oracle.consults == 3 and oracle.misses == 2
+
+    def test_mst_oracle_consults_once_per_digest(self):
+        net = random_connected_graph(10, seed=8, weighted=True)
+        proto = guided_mst_protocol()
+        cfg = random_configuration(net, proto, seed=9)
+        sim = Simulator(net, proto, config=cfg)
+        assert sim.run(max_rounds=8000 * net.n).silent
+        task = proto.layers[-1]
+        assert task._oracle.misses <= task._oracle.consults
+        assert task._oracle.misses >= 1
+
+
+# ----------------------------------------------------------------------
+# fast paths (adhoc-bfs / malleable-tree)
+# ----------------------------------------------------------------------
+
+
+class TestEngineFastPaths:
+    def test_fast_step_and_exact_deltas_declared(self):
+        from repro.baselines.dim_bfs import AdHocBFSProtocol
+        from repro.core.swap import MalleableTreeProtocol
+        for proto in (AdHocBFSProtocol(), MalleableTreeProtocol()):
+            assert callable(proto.fast_step)
+            assert proto.exact_deltas is True
+
+    @pytest.mark.parametrize("factory", ["adhoc-bfs", "malleable-tree"])
+    def test_fast_step_equals_step(self, factory):
+        from repro.baselines.dim_bfs import AdHocBFSProtocol
+        from repro.core.swap import MalleableTreeProtocol
+        from repro.runtime.protocol import NodeView
+        proto = (AdHocBFSProtocol() if factory == "adhoc-bfs"
+                 else MalleableTreeProtocol())
+        net = random_connected_graph(12, seed=13)
+        for seed in range(4):
+            cfg = random_configuration(net, proto, seed=seed)
+            rows = {v: tuple((u, cfg[u]) for u in net.neighbors(v))
+                    for v in net.nodes}
+            for v in net.nodes:
+                view = NodeView(net, v, cfg)
+                assert proto.fast_step(net, cfg, v, rows[v]) == \
+                    proto.step(view)
+
+
+# ----------------------------------------------------------------------
+# space accounting
+# ----------------------------------------------------------------------
+
+
+class TestSpaceAccounting:
+    def test_rows_cover_all_tasks_and_bounds_hold(self):
+        rows = space_rows(sizes=(16, 64), seed=1)
+        tasks = {r.task for r in rows}
+        assert tasks == set(CERTIFIERS)
+        for r in rows:
+            assert r.max_bits > 0
+            # generous constant: the normalized column is max_bits over
+            # log2(N) (log2(N)^2 for MST); the paper's claim is that it
+            # stays bounded, and these instances sit far below 64
+            assert r.normalized < 64, r
+
+    def test_mst_certificate_dominates_log_tasks(self):
+        mst = measure_task(CERTIFIERS["guided-mst"], 64, seed=1)
+        bfs = measure_task(CERTIFIERS["guided-bfs"], 64, seed=1)
+        assert mst.max_bits > bfs.max_bits
+        assert "2" in mst.bound and "2" not in bfs.bound
+
+    def test_normalized_ratio_does_not_grow(self):
+        """The measured bits track the claimed growth: the normalized
+        column must not increase from n=16 to n=256."""
+        for task in CERTIFIERS:
+            small = measure_task(CERTIFIERS[task], 16, seed=1)
+            big = measure_task(CERTIFIERS[task], 256, seed=1)
+            assert big.normalized <= small.normalized * 1.05, task
+
+
+# ----------------------------------------------------------------------
+# the model checker
+# ----------------------------------------------------------------------
+
+
+class _Flipper(Protocol):
+    """Deliberate livelock: two nodes forever copying each other's bit."""
+
+    name = "flipper"
+
+    def register_spec(self, net):
+        return RegisterSpec([flag_field("b")])
+
+    def step(self, view):
+        for _, st in view.nbr_states():
+            if st["b"] == view["b"]:
+                return {"b": not view["b"]}
+        return None
+
+
+class TestModelChecker:
+    def test_closure_at_legit_config(self):
+        cert = get_certifier("sst")
+        net = cert.build_network(4, seed=1)
+        res = explore(net, cert.protocol(), [cert.legitimate(net)])
+        assert res.states == 1 and res.silent_states == 1 and res.ok
+
+    def test_detects_livelock(self):
+        net = ring(4, seed=1)
+        proto = _Flipper()
+        start = {v: {"b": False} for v in net.nodes}
+        res = explore(net, proto, [start], max_states=5000)
+        assert res.cycle is not None
+        assert not res.ok
+
+    def test_detects_illegal_silence(self):
+        cert = get_certifier("sst")
+        net = cert.build_network(4, seed=1)
+        proto = cert.protocol()
+        legit = cert.legitimate(net)
+
+        def never_legal(config):
+            return False
+
+        res = explore(net, proto, [legit], is_legal=never_legal)
+        assert res.illegal_silent and not res.ok
+
+    @pytest.mark.parametrize("task", ["sst", "nca-build"])
+    def test_closure_and_convergence_under_all_daemons(self, task):
+        res = check_certifier(CERTIFIERS[task], n=4, corruption_draws=1,
+                              max_states=120_000)
+        assert res.ok, res.summary()
+        assert res.silent_states >= 1
+
+    def test_guided_bfs_bounded_exploration_is_clean(self):
+        res = check_certifier(CERTIFIERS["guided-bfs"], n=4,
+                              corruption_draws=1, max_corruptions=12,
+                              max_states=20_000)
+        # heavy re-election starts may truncate the budget; what matters
+        # is that no violation exists in the explored region
+        assert res.ok_except_truncation, res.summary()
+
+
+# ----------------------------------------------------------------------
+# campaign + workload integration
+# ----------------------------------------------------------------------
+
+
+class TestIntegration:
+    def test_certification_campaign_records_locally_certified(self):
+        from repro.experiments.campaigns import get_campaign
+        from repro.experiments.runner import run_spec
+        campaign = get_campaign("certification")
+        assert len(campaign) >= 12
+        spec = next(s for s in campaign.specs if s.protocol == "sst")
+        record = run_spec(spec, root_seed=0)
+        assert record["metrics"]["locally_certified"] is True
+
+    def test_guided_workloads_registered(self):
+        from repro.perf.workloads import WORKLOADS, select_workloads
+        for name in ("guided-bfs-128", "guided-bfs-512", "guided-mst-128",
+                     "guided-mst-512", "guided-mdst-128", "guided-mdst-512"):
+            assert name in WORKLOADS
+            assert "full" in WORKLOADS[name].tags
+        smoke = {w.name for w in select_workloads(smoke=True)}
+        assert {"smoke-guided-bfs-48", "smoke-guided-mst-48",
+                "smoke-guided-mdst-48"} <= smoke
+
+    def test_guided_smoke_workload_measures(self):
+        from repro.perf.harness import run_workload
+        from repro.perf.workloads import WORKLOADS
+        record = run_workload(WORKLOADS["smoke-guided-bfs-48"], repeats=1,
+                              warmup=False)
+        assert record["moves"] > 0 and record["moves_per_sec"] > 0
+
+    def test_cli_certify_check_smoke(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "certify", "check", "--smoke",
+             "--task", "sst", "--task", "guided-bfs"],
+            capture_output=True, text=True, env=_env(), timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "certify check ok" in proc.stdout
+
+    def test_cli_certify_space_markdown(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "certify", "space",
+             "--sizes", "16", "--format", "markdown", "--task", "sst"],
+            capture_output=True, text=True, env=_env(), timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "O(log n)" in proc.stdout
+
+    def test_cli_certify_modelcheck(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "certify", "modelcheck",
+             "--task", "sst", "--n", "4"],
+            capture_output=True, text=True, env=_env(), timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+
+class TestModelCheckerFoundRegressions:
+    """States the exhaustive checker reached that used to wedge or cycle;
+    each must now drain to a silent legal configuration under any daemon."""
+
+    def _mst_stale_payload_state(self):
+        """The PR-4 guided-mst livelock witness: a stale SWAP broadcast
+        commands endpoint 10 to re-parent onto its own child 14."""
+        from repro.certify.oracle import config_digest
+        from repro.core.tasks import ORACLE_DIGEST_FIELDS
+        cert = get_certifier("guided-mst")
+        net = cert.build_network(4, seed=1)
+        proto = cert.protocol()
+        bc = (10, 14, 10, ((5, 1),), ((5, 1),))
+        rows = {
+            5: dict(rid=5, par=NONE, d=0, s=NONE, mark=True, swt=NONE,
+                    hv=10, lam=((5, 0),), ph="SWAP", ack=False,
+                    cand=NONE, bc=bc),
+            10: dict(rid=5, par=5, d=1, s=3, mark=False, swt=14,
+                     hv=13, lam=((5, 1),), ph="SWAP", ack=False,
+                     cand=NONE, bc=bc),
+            13: dict(rid=5, par=10, d=NONE, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 2),), ph="SWAP", ack=False,
+                     cand=NONE, bc=bc),
+            14: dict(rid=5, par=10, d=2, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 1), (14, 0)), ph="SWAP", ack=True,
+                     cand=NONE, bc=bc),
+        }
+        for v, ver in config_digest(net, rows, ORACLE_DIGEST_FIELDS).items():
+            rows[v]["ver"] = ver
+        return net, proto, rows
+
+    def test_endpoint_refuses_own_descendant_target(self):
+        from repro.runtime.protocol import NodeView
+        net, proto, cfg = self._mst_stale_payload_state()
+        task = proto.layers[-1]
+        view = NodeView(net, 10, cfg)
+        assert not task._endpoint_feasible(view, cfg[10]["bc"])
+        # the impossible command is acked as complete, not waited on
+        assert task.chain_phase_done(view, cfg[10]["bc"])
+
+    def test_stale_payload_state_drains_to_legal_silence(self):
+        from repro.baselines import kruskal_mst
+        from repro.core.swap import tree_of_config
+        net, proto, cfg = self._mst_stale_payload_state()
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=5000 * net.n)
+        assert result.silent
+        assert tree_of_config(net, sim.config).edges() == kruskal_mst(net)
+
+    def test_stale_payload_state_has_no_daemon_cycle(self):
+        net, proto, cfg = self._mst_stale_payload_state()
+        res = explore(net, proto, [cfg], max_states=150_000)
+        assert res.cycle is None, "livelock regression"
+        assert not res.illegal_silent
+
+    def _mst_stale_digest_state(self):
+        """The second PR-4 guided-mst livelock witness: node 14 defected
+        to a starved island, node 10's digest register is stale, and the
+        root kept replaying a memoized SWAP payload from the stale key."""
+        from repro.certify.oracle import config_digest
+        from repro.core.tasks import ORACLE_DIGEST_FIELDS
+        cert = get_certifier("guided-mst")
+        net = cert.build_network(4, seed=1)
+        proto = cert.protocol()
+        bc = (14, 5, 10, ((5, 1), (14, 0)), ((5, 1),))
+        rows = {
+            5: dict(rid=5, par=NONE, d=0, s=3, mark=False, swt=NONE,
+                    hv=10, lam=((5, 0),), ph="SWAP", ack=False,
+                    cand=NONE, bc=bc),
+            10: dict(rid=5, par=5, d=1, s=2, mark=False, swt=NONE,
+                     hv=13, lam=((5, 1),), ph="WORK", ack=True,
+                     cand=NONE, bc=NONE),
+            13: dict(rid=5, par=10, d=2, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 2),), ph="WORK", ack=True,
+                     cand=NONE, bc=NONE),
+            14: dict(rid=14, par=NONE, d=0, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 1), (14, 0)), ph="WORK", ack=False,
+                     cand=NONE, bc=NONE),
+        }
+        # deliberately stale digests: computed as if 14 were still 10's
+        # child (the starved-repair situation the checker reached)
+        stale = {u: dict(s) for u, s in rows.items()}
+        stale[14]["par"] = 10
+        for v, ver in config_digest(net, stale,
+                                    ORACLE_DIGEST_FIELDS).items():
+            rows[v]["ver"] = ver
+        return net, proto, rows
+
+    def test_stale_digest_state_drains_to_legal_silence(self):
+        from repro.baselines import kruskal_mst
+        from repro.core.swap import tree_of_config
+        net, proto, cfg = self._mst_stale_digest_state()
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=5000 * net.n)
+        assert result.silent
+        assert tree_of_config(net, sim.config).edges() == kruskal_mst(net)
+
+    def test_stale_digest_state_has_no_daemon_cycle(self):
+        net, proto, cfg = self._mst_stale_digest_state()
+        res = explore(net, proto, [cfg], max_states=200_000)
+        assert res.cycle is None, "starved-digest replay livelock regression"
+        assert not res.illegal_silent
+
+    def _mst_junk_label_payload_state(self):
+        """The third PR-4 guided-mst livelock witness: a payload whose
+        frozen lam_a is junk defeats the label-based subtree check while
+        the commanded target is again the endpoint's current child."""
+        from repro.certify.oracle import config_digest
+        from repro.core.tasks import ORACLE_DIGEST_FIELDS
+        cert = get_certifier("guided-mst")
+        net = cert.build_network(4, seed=1)
+        proto = cert.protocol()
+        junk = ((5, 0), (10, 0), (5, 1))
+        bc = (10, 14, 10, junk, junk)
+        rows = {
+            5: dict(rid=5, par=NONE, d=0, s=NONE, mark=True, swt=NONE,
+                    hv=10, lam=((5, 0),), ph="SWAP", ack=False,
+                    cand=NONE, bc=bc),
+            10: dict(rid=5, par=5, d=1, s=3, mark=False, swt=14,
+                     hv=NONE, lam=((5, 1),), ph="SWAP", ack=False,
+                     cand=NONE, bc=bc),
+            13: dict(rid=5, par=10, d=2, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 1), (13, 0)), ph="SWAP", ack=True,
+                     cand=NONE, bc=bc),
+            14: dict(rid=5, par=10, d=2, s=1, mark=False, swt=NONE,
+                     hv=NONE, lam=((5, 1), (14, 0)), ph="SWAP", ack=True,
+                     cand=NONE, bc=bc),
+        }
+        for v, ver in config_digest(net, rows, ORACLE_DIGEST_FIELDS).items():
+            rows[v]["ver"] = ver
+        return net, proto, rows
+
+    def test_junk_label_payload_refused(self):
+        from repro.runtime.protocol import NodeView
+        net, proto, cfg = self._mst_junk_label_payload_state()
+        task = proto.layers[-1]
+        view = NodeView(net, 10, cfg)
+        # both the lam_a-identity check and the own-child check refuse
+        assert not task._endpoint_feasible(view, cfg[10]["bc"])
+        assert task.chain_phase_done(view, cfg[10]["bc"])
+
+    def test_junk_label_payload_state_drains(self):
+        from repro.baselines import kruskal_mst
+        from repro.core.swap import tree_of_config
+        net, proto, cfg = self._mst_junk_label_payload_state()
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=5000 * net.n)
+        assert result.silent
+        assert tree_of_config(net, sim.config).edges() == kruskal_mst(net)
+
+    def test_dead_chain_broadcast_drains(self):
+        """Fourth witness (found in review): the endpoint of a crafted
+        broadcast refuses, and inner on-chain nodes must cascade the
+        abort upward instead of waiting forever for their former chain
+        child — otherwise the phase wedges into silent illegality."""
+        from repro.baselines import kruskal_mst
+        from repro.certify.oracle import config_digest
+        from repro.core import bfs_tree
+        from repro.core.swap import MalleableTreeProtocol, tree_of_config
+        from repro.core.tasks import ORACLE_DIGEST_FIELDS
+        from repro.core.tasks import guided_mst_protocol as factory
+        from repro.labeling.nca import NCALabeling
+
+        net = random_connected_graph(8, seed=3, weighted=True)
+        proto = factory()
+        tree = bfs_tree(net, root=net.min_id)
+        base = MalleableTreeProtocol().legal_configuration(net, tree)
+        cfg = proto.initial_configuration(net)
+        for v in net.nodes:
+            cfg[v].update(base[v])
+        scheme = NCALabeling(net, tree)
+        for v in net.nodes:
+            hv = scheme.heavy[v]
+            cfg[v]["hv"] = NONE if hv is None else hv
+            cfg[v]["lam"] = tuple(scheme.labels[v].segments)
+        root, z = tree.root, max(net.nodes, key=tree.depth)
+        bc = (z, 999, root, cfg[z]["lam"] + ((9, 0),), cfg[root]["lam"])
+        for v in net.nodes:
+            cfg[v].update(ph="SWAP", ack=False, cand=NONE, bc=bc)
+        for v, ver in config_digest(net, cfg,
+                                    ORACLE_DIGEST_FIELDS).items():
+            cfg[v]["ver"] = ver
+
+        sim = Simulator(net, proto, config=cfg)
+        result = sim.run(max_rounds=8000 * net.n)
+        assert result.silent
+        assert tree_of_config(net, sim.config).edges() == kruskal_mst(net)
+
+    def test_junk_label_payload_state_has_no_daemon_cycle(self):
+        """Markov (fresh-instance) semantics: the state machine itself has
+        no daemon cycle from the witness.  The shared-instance mode can
+        still report one here — cross-branch memo pollution realizes an
+        oracle history no single execution can (see modelcheck docstring);
+        the drain test above covers the real memoized semantics."""
+        from repro.core.tasks import guided_mst_protocol
+        net, proto, cfg = self._mst_junk_label_payload_state()
+        res = explore(net, proto, [cfg], max_states=200_000,
+                      protocol_factory=guided_mst_protocol)
+        assert res.cycle is None, "junk-label payload livelock regression"
+        assert not res.illegal_silent
+
+
+class TestBenchReportMentionsRss:
+    def test_comparison_table_has_rss_column(self, capsys):
+        from repro.perf.cli import _print_comparison
+        diff = {"tolerance": 2.5, "rows": [
+            {"workload": "w", "status": "ok", "current_mps": 10.0,
+             "baseline_mps": 10.0, "slowdown": 1.0}], "compared": 1,
+            "regressions": [], "ok": True}
+        current = {"workloads": {"w": {"peak_rss_kb": 12345}}}
+        _print_comparison(diff, current=current)
+        out = capsys.readouterr().out
+        assert "peak rss KiB" in out and "12,345" in out

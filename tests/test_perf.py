@@ -89,6 +89,9 @@ class TestWorkloadRegistry:
             "smoke-mst-48",
             "smoke-mdst-48",
             "smoke-nca-48",
+            "smoke-guided-bfs-48",
+            "smoke-guided-mst-48",
+            "smoke-guided-mdst-48",
         }
         assert all("full" in w.tags for w in full)
         # the slow opt-in workload is reachable by name only
