@@ -123,6 +123,36 @@ class DigestLayer(Protocol):
             return {"ver": want}
         return None
 
+    def fast_step_slots(self, schema):
+        """The digest fixpoint compiled to slot indices.
+
+        Mirrors :meth:`expected`/:meth:`step` exactly — the three digest
+        sites (runtime rule, assigner, verifier) still share
+        :func:`node_digest`, and covered fields absent from the schema
+        contribute ``repr(None)`` just as ``state.get`` does.  Reads its
+        own (possibly composition-patched) register only through ``own``.
+        """
+        index = schema.index
+        VER = index["ver"]
+        PARF = index.get(self.parent_field)
+        field_slots = tuple(index.get(f) for f in self.fields)
+
+        def rule(net, config, me, own, nbr_rows) -> dict | None:
+            content = tuple(
+                repr(own[i]) if i is not None else "None"
+                for i in field_slots)
+            if PARF is None:
+                kids = ()
+            else:
+                kids = tuple(sorted(
+                    (u, st[VER]) for u, st in nbr_rows if st[PARF] == me))
+            want = node_digest(me, content, kids)
+            if own[VER] != want:
+                return {VER: want}
+            return None
+
+        return rule
+
 
 class CertifiedOracle:
     """A global decision procedure behind a digest-keyed write-once memo.

@@ -145,6 +145,74 @@ class SpanningTreeProtocol(Protocol):
         return self.fast_step(view.net, view._config, view.node,
                               view.nbr_states())
 
+    def fast_step_slots(self, schema):
+        """The same rule compiled to slot indices (Protocol.fast_step_slots).
+
+        A line-by-line transliteration of :meth:`fast_step` with field
+        names resolved to row positions once, here; the golden suite and
+        the incremental-vs-rescan cross-check pin the two paths to each
+        other at every scheduler selection.
+        """
+        RID, PAR, D = schema.slot("rid"), schema.slot("par"), schema.slot("d")
+
+        def rule(net: Network, config, me: int, own, nbr_rows,
+                 _self=self) -> dict | None:
+            best_rid, best_d = me, 0
+            if net is not _self._bound_net:
+                _self._bound_net = net
+                _self._bound1 = net.n_bound - 1
+            bound1 = _self._bound1
+            for _, st in nbr_rows:
+                rid_u, d_u = st[RID], st[D]
+                try:
+                    if (rid_u < me and -1 < d_u < bound1
+                            and (rid_u < best_rid or (rid_u == best_rid
+                                                      and d_u + 1 < best_d))
+                            and isinstance(rid_u, int)
+                            and isinstance(d_u, int)):
+                        best_rid, best_d = rid_u, d_u + 1
+                except TypeError:
+                    continue
+            rid, d = own[RID], own[D]
+            if rid == best_rid and d == best_d:
+                par = own[PAR]
+                if par is NONE:
+                    if rid == me and d == 0:
+                        return None
+                else:
+                    try:
+                        in_nbrs = par in net.neighbor_set(me)
+                    except TypeError:
+                        in_nbrs = False
+                    if in_nbrs:
+                        pst = config[par].row
+                        if (pst[RID] == rid and pst[D] == d - 1
+                                and rid < me):
+                            return None
+            if best_rid == me:
+                delta = {}
+                if rid != me:
+                    delta[RID] = me
+                if own[PAR] is not NONE:
+                    delta[PAR] = NONE
+                if d != 0:
+                    delta[D] = 0
+                return delta or None
+            par_d = best_d - 1
+            for par, st in nbr_rows:
+                if st[RID] == best_rid and st[D] == par_d:
+                    break
+            delta = {}
+            if rid != best_rid:
+                delta[RID] = best_rid
+            if own[PAR] != par:
+                delta[PAR] = par
+            if d != best_d:
+                delta[D] = best_d
+            return delta or None
+
+        return rule
+
     def is_legal(self, net: Network, config) -> bool:
         """Legal: the min-identity BFS tree with exact distances."""
         root = net.min_id

@@ -123,6 +123,169 @@ class MalleableTreeProtocol(Protocol):
         return self.fast_step(view.net, view._config, view.node,
                               view.nbr_states())
 
+    def fast_step_slots(self, schema):
+        """The same rule compiled to slot indices (Protocol.fast_step_slots).
+
+        A line-by-line transliteration of :meth:`_intended` and its
+        helpers with field names resolved to row positions once, here.
+        In compositions (the guided constructions) the engine hands this
+        rule a patched ``own`` row, so — like every compiled slot rule —
+        it reads its own register exclusively through ``own`` and its
+        neighbors through ``nbr_rows`` / ``config[u].row``.  The golden
+        suite, the incremental-vs-rescan cross-check, and the small-n
+        model checker pin it to the NodeView path.
+        """
+        RID, PAR, D = schema.slot("rid"), schema.slot("par"), schema.slot("d")
+        S, MARK, SWT = schema.slot("s"), schema.slot("mark"), schema.slot("swt")
+
+        def self_root(me: int) -> dict:
+            return {RID: me, PAR: NONE, D: 0, S: 1, MARK: False, SWT: NONE}
+
+        def request_sane(net, config, me, own) -> bool:
+            # mirrors _switch_request_sane
+            swt = own[SWT]
+            if swt not in net.neighbor_set(me):
+                return False
+            if own[PAR] is NONE or swt == own[PAR]:
+                return False
+            st = config[swt].row
+            if st[PAR] == me:
+                return False
+            return st[RID] == own[RID]
+
+        def switch_ready(config, me, own, nbr_rows, bound) -> bool:
+            # mirrors _switch_ready
+            wst, wpst = config[own[PAR]].row, config[own[SWT]].row
+            if wst[S] is not NONE or wst[D] is NONE:
+                return False
+            if wpst[S] is not NONE or wpst[D] is NONE:
+                return False
+            if wpst[D] + 1 >= bound:
+                return False
+            if own[D] is NONE or own[S] is NONE:
+                return False
+            for _, st in nbr_rows:
+                if st[PAR] == me:
+                    if st[D] is not NONE or st[S] is NONE:
+                        return False
+            return True
+
+        def intended(net, config, me, own, nbr_rows, bound) -> dict:
+            # mirrors _intended (structural/_best_claim inlined)
+            rid, par = own[RID], own[PAR]
+            d, s, swt = own[D], own[S], own[SWT]
+
+            # ---- 1. construction / adoption ----------------------------
+            if par is NONE:
+                broken = rid != me
+            else:
+                broken = (par not in net.neighbor_set(me)
+                          or config[par].row[RID] != rid
+                          or rid >= me)
+            # the best adoptable neighbor claim (see _best_claim)
+            best = None
+            for u, st in nbr_rows:
+                rid_u, d_u = st[RID], st[D]
+                if not isinstance(rid_u, int) or rid_u >= me:
+                    continue
+                if d_u is NONE or not isinstance(d_u, int):
+                    continue
+                if d_u + 1 >= bound:
+                    continue
+                if st[S] is NONE or st[MARK] or st[SWT] is not NONE:
+                    continue  # holder cannot support a child mid-switch
+                cand = (rid_u, d_u, u)
+                if best is None or cand < best:
+                    best = cand
+            if not broken and best is not None and best[0] < rid:
+                broken = True
+            if broken:
+                if best is None or best[0] >= me:
+                    return self_root(me)
+                brid, bd, bpar = best
+                return {RID: brid, PAR: bpar, D: bd + 1, S: 1,
+                        MARK: False, SWT: NONE}
+
+            # mark = I am w (child requests a switch) or w' (a neighbor
+            # targets me) or the wave is climbing through me
+            new_mark = False
+            for _, st in nbr_rows:
+                if st[PAR] == me and (st[SWT] is not NONE or st[MARK]):
+                    new_mark = True
+                    break
+                if st[SWT] == me:
+                    new_mark = True
+                    break
+
+            # ---- 2. switching -------------------------------------------
+            new_par, new_d = par, d
+            new_swt = swt
+            if swt is not NONE:
+                if not request_sane(net, config, me, own):
+                    new_swt = NONE
+                elif switch_ready(config, me, own, nbr_rows, bound):
+                    new_par = swt
+                    new_d = config[swt].row[D] + 1
+                    new_swt = NONE
+                # else: hold everything, waiting for the waves
+
+            # ---- 4. size rules ------------------------------------------
+            new_s = s
+            if new_mark:
+                parent_pruned = (new_par is NONE
+                                 or config[new_par].row[S] is NONE)
+                if parent_pruned:
+                    new_s = NONE
+                # else: hold s until the prune wave descends to the parent
+            else:
+                total = 1
+                for _, st in nbr_rows:
+                    if st[PAR] == me:
+                        cs = st[S]
+                        if cs is NONE:
+                            total = None  # hold (a wave below is collapsing)
+                            break
+                        total += cs
+                if total is not None:
+                    # overflow (> N) prunes instead of resetting — see
+                    # the rationale in _intended
+                    new_s = NONE if total > bound else total
+
+            # ---- 5. distance rules --------------------------------------
+            if new_par is NONE:
+                new_d = 0
+            elif new_par == swt and new_swt is NONE and swt is not NONE:
+                pass  # new_d already set by the switch
+            else:
+                pst = config[new_par].row
+                if pst[SWT] is not NONE:
+                    new_d = NONE      # pre-switch pruning below the initiator
+                elif pst[D] is NONE:
+                    new_d = NONE      # pruning propagates downward
+                else:
+                    want = pst[D] + 1
+                    if want >= bound:
+                        return self_root(me)
+                    new_d = want
+
+            # forbidden label pairs reset — see the rationale in _intended
+            if new_d is NONE and new_s is NONE:
+                return self_root(me)
+            if new_mark and new_d is NONE and new_swt is NONE:
+                return self_root(me)
+            return {RID: rid, PAR: new_par, D: new_d, S: new_s,
+                    MARK: new_mark, SWT: new_swt}
+
+        def rule(net, config, me, own, nbr_rows, _self=self) -> dict | None:
+            if net is not _self._bound_net:
+                _self._bound_net = net
+                _self._bound = net.n_bound
+            new = intended(net, config, me, own, nbr_rows, _self._bound)
+            delta = {k: v for k, v in new.items() if own[k] != v}
+            return delta or None
+
+        return rule
+
     def _intended(self, net: Network, config, me: int, rows) -> dict:
         if net is not self._bound_net:
             self._bound_net = net

@@ -371,6 +371,62 @@ class NCALabelLayer(Protocol):
             delta["lam"] = lam
         return delta or None
 
+    def fast_step_slots(self, schema):
+        """The label fixpoint compiled to slot indices.
+
+        Requires the tree layer's ``par``/``s`` fields in the schema (the
+        layer is only ever composed above them); returns ``None`` —
+        falling back to the NodeView adapter — otherwise.  ``ph`` is
+        resolved when present, mirroring ``state.get("ph")``.  Reads its
+        own (possibly composition-patched) register only through ``own``;
+        the parent row is located by scanning ``nbr_rows``, which matches
+        the ``par in view.neighbors`` containment semantics of
+        :meth:`step` (junk parent pointers compare unequal, they never
+        hash).
+        """
+        index = schema.index
+        if "par" not in index or "s" not in index:
+            return None
+        HV, LAM = index["hv"], index["lam"]
+        PAR, S = index["par"], index["s"]
+        PH = index.get("ph")
+
+        def rule(net, config, me, own, nbr_rows) -> dict | None:
+            # freeze during SWAP phases (pre-swap labels, Section V)
+            if PH is not None and own[PH] == SWAP:
+                return None
+            # heavy child from the tree layer's certified sizes
+            sizes = [(st[S], u) for u, st in nbr_rows if st[PAR] == me]
+            hv = NONE
+            if sizes and all(s is not NONE for s, _ in sizes):
+                hv = min(sizes, key=lambda sc: (-sc[0], sc[1]))[1]
+            # label derivation from the parent
+            lam = NONE
+            par = own[PAR]
+            if par is NONE:
+                lam = ((me, 0),)
+            else:
+                pst = None
+                for u, st in nbr_rows:
+                    if u == par:
+                        pst = st
+                        break
+                if pst is not None and pst[LAM] not in (None, NONE):
+                    plam = pst[LAM]
+                    if pst[HV] == me:
+                        apex, depth = plam[-1]
+                        lam = plam[:-1] + ((apex, depth + 1),)
+                    else:
+                        lam = plam + ((me, 0),)
+            delta = {}
+            if own[HV] != hv:
+                delta[HV] = hv
+            if lam is not NONE and own[LAM] != lam:
+                delta[LAM] = lam
+            return delta or None
+
+        return rule
+
     @staticmethod
     def labels_ok(net: Network, config, tree: RootedTree) -> bool:
         from repro.labeling.nca import NCALabeling

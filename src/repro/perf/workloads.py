@@ -15,10 +15,14 @@ The registry covers:
 * ``bfs``/``mst``/``mdst``/``nca`` family sweeps at n in {128, 512,
   2048}, budget-bounded so non-silent baselines (compact MST) and slow
   big-memory baselines (BGR MDST) measure *throughput*, not convergence;
-* ``guided-bfs``/``guided-mst``/``guided-mdst`` at n in {128, 512}: the
-  paper's own constructions, benchmarkable since the certificate-backed
-  oracle layer (:mod:`repro.certify.oracle`) flipped them to
-  neighborhood reads on the incremental engine;
+* ``guided-bfs``/``guided-mst``/``guided-mdst`` at n in {128, 512,
+  8192}: the paper's own constructions, benchmarkable since the
+  certificate-backed oracle layer (:mod:`repro.certify.oracle`) flipped
+  them to neighborhood reads on the incremental engine;
+* the n = 8192 tier, added when the slot-indexed registers landed:
+  ``sst-8192`` runs to silence (the acceptance discipline at 16x the
+  size) and the ``guided-*-8192`` sweeps are budgeted — all
+  single-warmth, sized so the full bench stays interactive;
 * ``smoke-*`` variants of each family at n = 48 for the CI perf gate.
 
 Workloads resolve through the experiment registries
@@ -149,6 +153,24 @@ def _build_registry() -> dict[str, Workload]:
             repeats=3,
             tags=("full", "smoke", "acceptance"),
         ),
+        # The acceptance workload's shape at n = 8192 (same daemon and
+        # init discipline, fresh topology draw at size): the tuple-register
+        # scale tier the ROADMAP gated on slot-indexed state.  One warm-up
+        # is skipped — a quarter-million-move run is its own warmth.
+        Workload(
+            name="sst-8192",
+            family="engine",
+            protocol="sst",
+            topology="random",
+            topo_params=_params(n=8192, seed=42),
+            scheduler="central-random",
+            scheduler_seed=3,
+            init="arbitrary",
+            init_params=_params(seed=7),
+            repeats=2,
+            warmup=False,
+            tags=("full",),
+        ),
     ]
     # BFS: the classical ad hoc construction (neighborhood reads) from an
     # adversarial arbitrary configuration; ghost-root flushing makes the
@@ -192,27 +214,36 @@ def _build_registry() -> dict[str, Workload]:
     # engine and are benchmarkable.  BFS measures recovery from an
     # arbitrary configuration; MST/MDST measure label settling plus the
     # detector/chain-switch improvement loop from a seeded random tree.
-    for n, rounds in ((128, 48), (512, 32)):
+    # the 8192 instances run with repeats=2 and no warmup: each budgeted
+    # execution is tens of thousands of moves, its own warmth, and the
+    # full-mode wall clock has to stay interactive
+    big = dict(repeats=2, warmup=False)
+    for n, rounds in ((128, 48), (512, 32), (8192, 16)):
         workloads.append(Workload(
             name=f"guided-bfs-{n}", family="guided-bfs",
             protocol="guided-bfs", topology="random",
             topo_params=_params(n=n, seed=17),
             init="arbitrary", init_params=_params(seed=4),
-            round_budget=rounds, tags=("full",)))
-    for n in (128, 512):
+            round_budget=rounds, tags=("full",),
+            **(big if n == 8192 else {})))
+    for n, rounds in ((128, 32), (512, 32), (8192, 12)):
         workloads.append(Workload(
             name=f"guided-mst-{n}", family="guided-mst",
             protocol="guided-mst", topology="random",
             topo_params=_params(n=n, seed=18, weighted=True),
             init="random-tree", init_params=_params(seed=5),
-            round_budget=32, move_budget=60_000, tags=("full",)))
-    for n, rounds in ((128, 16), (512, 12)):
+            round_budget=rounds,
+            move_budget=100_000 if n == 8192 else 60_000, tags=("full",),
+            **(big if n == 8192 else {})))
+    for n, rounds in ((128, 16), (512, 12), (8192, 8)):
         workloads.append(Workload(
             name=f"guided-mdst-{n}", family="guided-mdst",
             protocol="guided-mdst", topology="random",
             topo_params=_params(n=n, extra_edges=2 * n, seed=19),
             init="random-tree", init_params=_params(seed=6),
-            round_budget=rounds, move_budget=30_000, tags=("full",)))
+            round_budget=rounds,
+            move_budget=60_000 if n == 8192 else 30_000, tags=("full",),
+            **(big if n == 8192 else {})))
     for family, init, init_seed in (("guided-bfs", "arbitrary", 4),
                                     ("guided-mst", "random-tree", 5),
                                     ("guided-mdst", "random-tree", 6)):

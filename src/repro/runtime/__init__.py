@@ -32,8 +32,10 @@ from repro.runtime.protocol import (
     NodeView,
     Protocol,
     ComposedProtocol,
+    adapt_step_to_slots,
     effective_delta,
 )
+from repro.runtime.schema import SlotState, StateSchema
 from repro.runtime.scheduler import (
     EnabledSet,
     Scheduler,
@@ -74,8 +76,11 @@ __all__ = [
     "NONE",
     "NodeView",
     "effective_delta",
+    "adapt_step_to_slots",
     "Protocol",
     "ComposedProtocol",
+    "SlotState",
+    "StateSchema",
     "EnabledSet",
     "Scheduler",
     "SynchronousScheduler",

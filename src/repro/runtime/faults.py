@@ -5,6 +5,14 @@ identities and edge weights are incorruptible constants; everything stored
 in registers is fair game, but a corrupted variable still holds a value of
 its field's domain (corruption "cannot result in storing a value with
 arbitrary large size").
+
+Faults speak the *boundary* shape: corrupted values are name-keyed dicts
+(what the field samplers produce), written into a running simulator
+through :meth:`Simulator.overwrite`, which encodes them through the
+compiled :class:`~repro.runtime.schema.StateSchema` into the engine's
+slot rows and feeds the dirty set.  :func:`corrupt_nodes` accepts either
+plain-dict configurations or a simulator's live Mapping views and always
+returns plain dicts.
 """
 
 from __future__ import annotations

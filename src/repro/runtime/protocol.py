@@ -19,8 +19,10 @@ from collections.abc import Mapping, Sequence
 
 from repro.graphs.network import Network
 from repro.runtime.registers import RegisterSpec
+from repro.runtime.schema import SlotState
 
-__all__ = ["NodeView", "Protocol", "ComposedProtocol", "effective_delta"]
+__all__ = ["NodeView", "Protocol", "ComposedProtocol", "effective_delta",
+           "adapt_step_to_slots"]
 
 
 def effective_delta(protocol: "Protocol",
@@ -173,7 +175,40 @@ class Protocol(ABC):
     #: NodeView dispatch on the hottest path.  Correct protocols implement
     #: the rule once in ``fast_step`` and delegate ``step`` to it, so the
     #: two paths cannot drift (see :class:`repro.core.sst`).
+    #: Superseded on the hottest path by :meth:`fast_step_slots`; kept as
+    #: the name-keyed compatibility contract.
     fast_step: object = None
+
+    def fast_step_slots(self, schema):
+        """Compile the slot-indexed engine fast path, or return ``None``.
+
+        ``schema`` is the :class:`~repro.runtime.schema.StateSchema` the
+        simulator compiled for this ``(protocol, network)`` binding.  A
+        protocol that opts in resolves its field names to slot indices
+        *once* and returns a rule
+
+        ``rule(net, config, node, own, nbr_rows) -> dict[int, object] | None``
+
+        where ``config`` maps every node to its live
+        :class:`~repro.runtime.schema.SlotState` view (random access for
+        e.g. parent lookups; raw rows via ``config[u].row``), ``own`` is
+        the node's raw slot row, and ``nbr_rows`` is the ascending
+        ``(neighbor, raw_row)`` pair sequence.  The returned delta is
+        keyed by **slot index** and must compute exactly what
+        :meth:`step` computes (the incremental-vs-rescan suite
+        cross-checks this at every scheduler selection).
+
+        Inside a :class:`ComposedProtocol` the composition passes each
+        layer a *patched* ``own`` row carrying the updates of the layers
+        below it at this node — a compiled rule must therefore read its
+        own register only through ``own``, never through
+        ``config[node]`` (neighbors are always read unpatched, as the
+        state model prescribes).
+
+        Default: ``None`` — the engine falls back to :attr:`fast_step`
+        or :meth:`step` over the Mapping-compatible views.
+        """
+        return None
 
     #: Set to True when :meth:`step` (and :attr:`fast_step`) only ever
     #: return *effective* writes — every returned field differs from the
@@ -259,6 +294,39 @@ class ComposedProtocol(Protocol):
                 updates.update(delta)
         return updates or None
 
+    def fast_step_slots(self, schema):
+        """The composed slot-indexed fast path (see :class:`Protocol`).
+
+        Delegates to each layer's own compiled ``fast_step_slots`` rule
+        when the layer provides one; layers that do not are adapted
+        through :func:`adapt_step_to_slots`, so a composition always has
+        a slot path and hand-ported layers (the tree layer, the digest
+        layer, the NCA labels) run index-first even when sibling layers
+        still step through NodeView.  Semantics mirror :meth:`step`
+        exactly: each layer sees this node's register patched with the
+        updates of the layers below it, while neighbor registers are
+        read as they currently are.
+        """
+        rules = [layer.fast_step_slots(schema) or
+                 adapt_step_to_slots(layer, schema)
+                 for layer in self.layers]
+
+        def composed(net, config, node, own, nbr_rows, _rules=tuple(rules)):
+            updates = None
+            cur = own
+            for rule in _rules:
+                delta = rule(net, config, node, cur, nbr_rows)
+                if delta:
+                    if updates is None:
+                        updates = {}
+                        cur = own.copy()
+                    updates.update(delta)
+                    for i, val in delta.items():
+                        cur[i] = val
+            return updates
+
+        return composed
+
     def is_legal(self, net: Network, config) -> bool:
         return all(_safe_legal(layer, net, config) for layer in self.layers)
 
@@ -268,6 +336,35 @@ def _safe_legal(layer: Protocol, net: Network, config) -> bool:
         return layer.is_legal(net, config)
     except NotImplementedError:
         return True
+
+
+def adapt_step_to_slots(protocol: Protocol, schema):
+    """Wrap a name-keyed :meth:`Protocol.step` as a slot-indexed rule.
+
+    The bridge :class:`ComposedProtocol` uses for layers that have no
+    hand-compiled ``fast_step_slots``: the layer's ``step`` runs over a
+    NodeView whose own-register entry is the (possibly patched) slot row
+    handed down by the composition, and the returned name-keyed delta is
+    re-keyed to slot indices.  Exactly as fast as ``step`` — the adapter
+    exists for semantic uniformity of the engine's slot plane, not for
+    speed.
+    """
+    step = protocol.step
+    index = schema.index
+
+    def rule(net, config, node, own, nbr_rows):
+        base = config[node]
+        if base.row is own:
+            view = NodeView(net, node, config)
+        else:  # composition overlay: this node's register is patched
+            view = NodeView(net, node,
+                            _Overlay(config, node, SlotState(schema, own)))
+        delta = step(view)
+        if not delta:
+            return None
+        return {index[k]: v for k, v in delta.items()}
+
+    return rule
 
 
 class _Overlay:

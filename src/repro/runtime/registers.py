@@ -226,7 +226,7 @@ def custom_field(
 class RegisterSpec:
     """The ordered collection of fields forming one node's register."""
 
-    __slots__ = ("_fields", "_by_name")
+    __slots__ = ("_fields", "_by_name", "_schema")
 
     def __init__(self, fields: list[Field]) -> None:
         names = [f.name for f in fields]
@@ -235,6 +235,18 @@ class RegisterSpec:
             raise ValueError(f"duplicate field names: {dupes}")
         self._fields: tuple[Field, ...] = tuple(fields)
         self._by_name: dict[str, Field] = {f.name: f for f in fields}
+        self._schema = None  # compiled lazily, once per spec instance
+
+    def schema(self):
+        """The compiled :class:`~repro.runtime.schema.StateSchema`.
+
+        Cached on the spec instance: the simulator binds one spec per
+        ``(protocol, network)`` and compiles its slot layout exactly once.
+        """
+        if self._schema is None:
+            from repro.runtime.schema import StateSchema
+            self._schema = StateSchema(self)
+        return self._schema
 
     @property
     def fields(self) -> tuple[Field, ...]:

@@ -29,15 +29,34 @@ and feeds the resulting adds/removes to the daemon through
 recomputations per applied write instead of the O(n) full rescan the
 previous engine performed before every ``select`` — the difference between
 O(n·M) and O(Δ·M) Python work for an M-move central-daemon execution.
+Large batches (synchronous rounds, global readers) skip the per-write
+bookkeeping entirely and raise a single *all-dirty* flag instead: one
+refresh pass over the whole network replaces thousands of set inserts.
 :meth:`Simulator.rescan_enabled` recomputes enabledness from scratch with
 no caches, for cross-checking the incremental state in tests.
+
+Slot-indexed state
+------------------
+
+Node registers are stored as **slot rows** — plain lists indexed by the
+:class:`~repro.runtime.schema.StateSchema` compiled once per
+``(protocol, network)`` from the protocol's
+:class:`~repro.runtime.registers.RegisterSpec`.  ``Simulator.config``
+exposes the same storage as zero-copy
+:class:`~repro.runtime.schema.SlotState` Mapping views, so name-keyed
+callers (legality predicates, verifiers, metrics, tests) are unaffected.
+Protocols with a compiled :meth:`Protocol.fast_step_slots` rule run
+index-first on the raw rows; everything else falls back to the
+name-keyed ``fast_step``/``step`` contracts over the views.
+Configurations cross the boundary as plain dicts in both directions
+(``config=`` input, traces, :func:`random_configuration`).
 """
 
 from __future__ import annotations
 
 import random
 from bisect import bisect_left, insort
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.graphs.network import Network
@@ -46,7 +65,7 @@ from repro.runtime.scheduler import EnabledSet, Scheduler, SynchronousScheduler
 
 __all__ = ["Simulator", "RunResult", "random_configuration"]
 
-Config = dict[int, dict[str, object]]
+Config = dict[int, Mapping[str, object]]
 
 
 @dataclass(slots=True)
@@ -61,6 +80,8 @@ class RunResult:
     #: populated only when the simulator was created with ``record_trace``;
     #: the result owns this list (it is a deep copy of the simulator's
     #: recording, so later runs or caller mutations cannot corrupt it).
+    #: Snapshots are plain name-keyed dicts — the boundary serialization
+    #: shape — decoded through the schema, never aliases of live rows.
     trace: list[Config] = field(default_factory=list)
 
     @property
@@ -113,6 +134,7 @@ class Simulator:
         invariant: Callable[[Network, Config], bool] | None = None,
         record_trace: bool = False,
         rng: random.Random | None = None,
+        use_slot_rules: bool = True,
     ) -> None:
         self.net = net
         self.protocol = protocol
@@ -124,11 +146,29 @@ class Simulator:
         #: :func:`repro.runtime.faults.inject_random_faults`).
         self.rng = rng if rng is not None else random.Random(0)
         self.spec = protocol.register_spec(net)
+        #: the compiled slot layout of this (protocol, network) binding
+        self.schema = self.spec.schema()
         if config is None:
-            self.config: Config = protocol.initial_configuration(net)
-        else:
-            self.config = {v: dict(state) for v, state in config.items()}
-        self._check_config_shape()
+            config = protocol.initial_configuration(net)
+        # encode the boundary configuration into slot rows (this also
+        # validates its shape); ``self.config`` shares the storage as
+        # zero-copy Mapping views, so name-keyed reads stay supported
+        names = self.schema.names
+        rows: dict[int, list] = {}
+        for v in net.nodes:
+            if v not in config:
+                raise ValueError(f"configuration missing node {v}")
+            state = config[v]
+            try:
+                rows[v] = [state[name] for name in names]
+            except KeyError:
+                missing = [n for n in names if n not in state]
+                raise ValueError(
+                    f"node {v} register missing fields {sorted(missing)}"
+                ) from None
+        self._state = rows
+        view = self.schema.view
+        self.config: dict[int, object] = {v: view(rows[v]) for v in net.nodes}
         self.invariant = invariant
         self.record_trace = record_trace
         self.moves = 0
@@ -136,28 +176,52 @@ class Simulator:
         self._invariant_violations = 0
         self._trace: list[Config] = []
         # incremental enabledness machinery: valid proposals for every
-        # non-dirty node, the live enabled set, and the dirty set of nodes
-        # whose proposals the last writes/faults invalidated.
-        self._proposal: dict[int, dict[str, object] | None] = {}
+        # non-dirty node (slot-keyed deltas), the live enabled set, and the
+        # dirty set / all-dirty flag for nodes whose proposals the last
+        # writes or faults invalidated.
+        self._proposal: dict[int, dict[int, object] | None] = {}
         self._enabled = EnabledSet()
-        self._dirty: set[int] = set(net.nodes)
+        self._dirty: set[int] = set()
+        self._dirty_all = True
+        self._all_nodes: list[int] = sorted(net.nodes)
+        # batch-aware bookkeeping: a write batch at least this large
+        # (a synchronous round, a mass fault) raises the all-dirty flag
+        # instead of performing per-write neighborhood set inserts — one
+        # refresh pass per round replaces the per-batch bookkeeping.
+        # Purely an accounting choice: refresh re-proposes a superset,
+        # and re-proposing a clean node reproduces its cached proposal.
+        self._bulk_dirty = max(4, net.n // 4)
         self._pending: set[int] | None = None  # the active round's pending set
         self._sched_synced = False
-        # prebuilt (neighbor, register) pair tuples per node.  Register
-        # dicts are mutated in place (never replaced) by _apply_batch and
+        # resolve the engine path once: a compiled slot rule when the
+        # protocol provides one (``use_slot_rules=False`` is the testing
+        # escape that forces the name-keyed path, so the dual-view suite
+        # can prove both planes bit-identical), else the name-keyed
+        # fast_step, else step over NodeView.
+        self._slot_rule = (protocol.fast_step_slots(self.schema)
+                           if use_slot_rules else None)
+        # prebuilt per-node neighbor row table for the resolved path.  Slot
+        # rows are mutated in place (never replaced) by _apply_batch and
         # overwrite, so these references stay valid for the simulator's
-        # lifetime; the re-proposal loop and NodeView.nbr_states read them
-        # without rebuilding a pair list per transition evaluation.
-        config = self.config
-        self._rows: dict[int, tuple[tuple[int, dict[str, object]], ...]] = {
-            v: tuple((u, config[u]) for u in net.neighbors(v))
-            for v in net.nodes}
-        # protocols may publish a NodeView-free fast path (see
-        # Protocol.fast_step); resolve it once
+        # lifetime: raw (neighbor, row) pairs for a compiled slot rule,
+        # (neighbor, SlotState) pairs for the name-keyed fallback — only
+        # the table the path actually reads is built.
+        self._nbr_rows: dict[int, tuple[tuple[int, list], ...]] | None = None
+        self._view_rows: dict[int, tuple] | None = None
+        if self._slot_rule is not None:
+            self._nbr_rows = {
+                v: tuple((u, rows[u]) for u in net.neighbors(v))
+                for v in net.nodes}
+        else:
+            config_views = self.config
+            self._view_rows = {
+                v: tuple((u, config_views[u]) for u in net.neighbors(v))
+                for v in net.nodes}
         self._fast_step = protocol.fast_step if callable(
             getattr(protocol, "fast_step", None)) else None
         # protocols declaring exact deltas skip the engine's no-op filter
         self._exact_deltas = bool(getattr(protocol, "exact_deltas", False))
+        self._index = self.schema.index
         # the base-class Scheduler.notify is a no-op; skip the call frame
         # entirely unless the daemon actually overrides it
         self._notify = (self.scheduler.notify
@@ -177,55 +241,84 @@ class Simulator:
         """Re-propose every dirty node, settling the incremental state.
 
         Cost is O(|dirty|) transition evaluations — O(deg) per write applied
-        since the last refresh.  Feeds the resulting enabled-set deltas to
-        the scheduler's incremental hooks and prunes the active round's
-        pending set, replacing the old per-step ``pending &= rescan``.
+        since the last refresh, or one O(n) pass when a bulk batch raised
+        the all-dirty flag.  Feeds the resulting enabled-set deltas to the
+        scheduler's incremental hooks and prunes the active round's pending
+        set, replacing the old per-step ``pending &= rescan``.
         """
-        if self._dirty:
+        if self._dirty_all:
+            items = self._all_nodes
+            self._dirty_all = False
+            self._dirty.clear()
+        elif self._dirty:
+            items = sorted(self._dirty)
+            self._dirty.clear()
+        else:
+            items = None
+        if items:
             added: list[int] = []
             removed: list[int] = []
             net, config = self.net, self.config
+            rows = self._state
+            slot_rule = self._slot_rule
             step = self.protocol.step
             fast_step = self._fast_step
             exact = self._exact_deltas
-            rows = self._rows
+            index = self._index
+            nbr_rows = self._nbr_rows
+            view_rows = self._view_rows
             proposal = self._proposal
             # engine-owned EnabledSet internals, updated in place (the
             # method-call indirection is measurable at this call rate)
             eset = self._enabled._set
             elist = self._enabled._list
-            # one view object reused across the loop: step() must not retain
-            # it (it is only valid for the duration of the atomic step)
-            view = NodeView(net, 0, config, rows)
-            items = sorted(self._dirty)
-            self._dirty.clear()
+            # one view object reused across the fallback loop: step() must
+            # not retain it (it is only valid for the duration of the
+            # atomic step); the slot path never needs it
+            view = (NodeView(net, 0, config, view_rows)
+                    if slot_rule is None else None)
             i = 0
             try:
                 for i, v in enumerate(items):
                     # inlined effective_delta (this loop dominates stepping
-                    # cost); protocols with a fast path skip NodeView
-                    # dispatch entirely
-                    if fast_step is not None:
-                        delta = fast_step(net, config, v, rows[v])
-                    else:
-                        view.node = v
-                        delta = step(view)
-                    if not delta:
-                        delta = None
-                    elif not exact:
-                        # dict-free comparison: count effective writes and
-                        # allocate a filtered dict only when the proposal
-                        # mixes no-op and effective fields
-                        own = config[v]
-                        eff = 0
-                        for k, val in delta.items():
-                            if own[k] != val:
-                                eff += 1
-                        if eff == 0:
+                    # cost).  Deltas are canonicalized to slot keys here, so
+                    # everything downstream (_apply_batch) is index-only.
+                    own = rows[v]
+                    if slot_rule is not None:
+                        delta = slot_rule(net, config, v, own, nbr_rows[v])
+                        if not delta:
                             delta = None
-                        elif eff != len(delta):
-                            delta = {k: val for k, val in delta.items()
-                                     if own[k] != val}
+                        elif not exact:
+                            # count effective writes; allocate a filtered
+                            # dict only when the proposal mixes no-op and
+                            # effective slots
+                            eff = 0
+                            for k, val in delta.items():
+                                if own[k] != val:
+                                    eff += 1
+                            if eff == 0:
+                                delta = None
+                            elif eff != len(delta):
+                                delta = {k: val for k, val in delta.items()
+                                         if own[k] != val}
+                    else:
+                        if fast_step is not None:
+                            delta = fast_step(net, config, v, view_rows[v])
+                        else:
+                            view.node = v
+                            delta = step(view)
+                        if not delta:
+                            delta = None
+                        elif exact:
+                            delta = {index[k]: val
+                                     for k, val in delta.items()}
+                        else:
+                            eff = {}
+                            for k, val in delta.items():
+                                s = index[k]
+                                if own[s] != val:
+                                    eff[s] = val
+                            delta = eff or None
                     proposal[v] = delta
                     if delta is not None:
                         if v not in eset:
@@ -253,9 +346,9 @@ class Simulator:
             self.scheduler.reset(self._enabled)
             self._sched_synced = True
 
-    def _propose(self, v: int) -> dict[str, object] | None:
-        """The pending write of node v, or None if v is not enabled."""
-        if v in self._dirty:
+    def _propose(self, v: int) -> dict[int, object] | None:
+        """The pending write of node v (slot-keyed), or None if not enabled."""
+        if self._dirty_all or v in self._dirty:
             self._refresh()
         return self._proposal[v]
 
@@ -272,8 +365,10 @@ class Simulator:
     def rescan_enabled(self) -> list[int]:
         """Enabled nodes recomputed from scratch, bypassing every cache.
 
-        O(n) transition evaluations; exists so tests can cross-check the
-        incrementally maintained enabled set against first principles.
+        O(n) transition evaluations through the name-keyed ``step``
+        contract over the Mapping views; exists so tests can cross-check
+        the incrementally maintained enabled set — and the compiled slot
+        rules feeding it — against first principles.
         """
         net, config, proto = self.net, self.config, self.protocol
         return [v for v in net.nodes
@@ -314,29 +409,37 @@ class Simulator:
 
     def _apply_batch(self, nodes: Sequence[int]) -> None:
         """Apply the cached proposals of ``nodes`` simultaneously."""
-        # gather first: every write must be based on the pre-step state
+        # gather first: every write must be based on the pre-step state.
+        # Settle the incremental state once up front (a no-op on the
+        # run_round/run_steps paths, which refresh before selecting), so
+        # the gather below is a plain proposal-table read per node.
+        if self._dirty_all or self._dirty:
+            self._refresh()
         proposal = self._proposal
+        dirty = self._dirty
         if len(nodes) == 1:  # central-daemon fast path
             v = nodes[0]
-            delta = proposal[v] if v not in self._dirty else self._propose(v)
+            delta = proposal[v]
             writes = [(v, delta)] if delta is not None else []
         else:
             writes = []
             for v in nodes:
-                delta = (proposal[v] if v not in self._dirty
-                         else self._propose(v))
+                delta = proposal[v]
                 if delta is not None:
                     writes.append((v, delta))
-        dirty = self._dirty
-        config = self.config
-        adjacency = self.net.adjacency
-        if self._global_reads and writes:
-            for v, delta in writes:
-                config[v].update(delta)
-            dirty.update(self.net.nodes)
+        rows = self._state
+        for v, delta in writes:
+            row = rows[v]
+            for s, val in delta.items():
+                row[s] = val
+        if self._global_reads or len(writes) >= self._bulk_dirty:
+            # bulk batch (synchronous round / global reader): one flag
+            # instead of per-write neighborhood set maintenance
+            if writes:
+                self._dirty_all = True
         else:
-            for v, delta in writes:
-                config[v].update(delta)
+            adjacency = self.net.adjacency
+            for v, _ in writes:
                 # invalidate proposals in the write neighborhood
                 dirty.add(v)
                 dirty.update(adjacency[v])
@@ -484,22 +587,26 @@ class Simulator:
     # fault injection entry point
     # ------------------------------------------------------------------
 
-    def overwrite(self, node: int, updates: dict[str, object]) -> None:
+    def overwrite(self, node: int, updates: Mapping[str, object]) -> None:
         """Adversarially overwrite parts of one node's register.
 
-        Feeds the dirty set, so the incremental enabled set stays coherent
-        across injected faults.
+        Updates are name-keyed (the boundary shape) and written through
+        the schema into the node's slot row.  Feeds the dirty set, so the
+        incremental enabled set stays coherent across injected faults.
         """
-        if node not in self.config:
+        row = self._state.get(node)
+        if row is None:
             raise KeyError(
                 f"unknown node {node!r}: not a node of this network "
                 f"(n={self.net.n})")
-        unknown = set(updates) - set(self.spec.names)
+        index = self._index
+        unknown = set(updates) - set(index)
         if unknown:
             raise KeyError(f"unknown fields: {sorted(unknown)}")
-        self.config[node].update(updates)
+        for name, val in updates.items():
+            row[index[name]] = val
         if self._global_reads:
-            self._dirty.update(self.net.nodes)
+            self._dirty_all = True
         else:
             self._dirty.add(node)
             self._dirty.update(self.net.neighbors(node))
@@ -509,13 +616,7 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _snapshot(self) -> None:
-        self._trace.append({v: dict(s) for v, s in self.config.items()})
-
-    def _check_config_shape(self) -> None:
-        names = set(self.spec.names)
-        for v in self.net.nodes:
-            if v not in self.config:
-                raise ValueError(f"configuration missing node {v}")
-            missing = names - set(self.config[v])
-            if missing:
-                raise ValueError(f"node {v} register missing fields {sorted(missing)}")
+        names = self.schema.names
+        rows = self._state
+        self._trace.append(
+            {v: dict(zip(names, rows[v])) for v in self.net.nodes})

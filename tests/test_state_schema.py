@@ -1,0 +1,248 @@
+"""The slot-indexed state plane, pinned to the dict plane.
+
+Three pillars:
+
+* **Schema/view contract**: a :class:`StateSchema` compiles a
+  ``RegisterSpec`` into a stable name → slot table, and a
+  :class:`SlotState` is a *zero-copy* MutableMapping over one slot row —
+  equal to the corresponding plain dict, writable through either plane,
+  with the layout fixed.
+* **Slot view ≡ dict view, propertywise**: on random (adversarial)
+  configurations, encoding through the schema and reading back through
+  the Mapping views reproduces the boundary dicts exactly — before,
+  during, and after execution.
+* **Dict-path ≡ slot-path, golden**: entire executions — every protocol
+  family of the tier-1 suite under every daemon — produce bit-identical
+  ``(rounds, moves, final configuration)`` whether the engine runs the
+  compiled ``fast_step_slots`` rules or is forced onto the name-keyed
+  ``fast_step``/``step`` fallback (``use_slot_rules=False``).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.baselines.compact_mst import CompactNonSilentMST
+from repro.core.sst import SpanningTreeProtocol
+from repro.core.swap import MalleableTreeProtocol
+from repro.core.tasks import (
+    guided_bfs_protocol,
+    guided_mdst_protocol,
+    guided_mst_protocol,
+)
+from repro.graphs import random_connected_graph
+from repro.runtime import (
+    ALL_SCHEDULER_FACTORIES,
+    NONE,
+    Simulator,
+    SlotState,
+    random_configuration,
+)
+
+PROTOCOLS = {
+    "sst": (SpanningTreeProtocol, False),
+    "malleable-tree": (MalleableTreeProtocol, False),
+    "guided-bfs": (guided_bfs_protocol, False),
+    "guided-mst": (guided_mst_protocol, True),
+    "guided-mdst": (guided_mdst_protocol, False),
+}
+
+
+def _hash(config) -> str:
+    canon = repr(tuple(sorted((v, tuple(sorted(s.items())))
+                              for v, s in config.items())))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+class TestStateSchema:
+    def _schema(self):
+        net = random_connected_graph(6, seed=1)
+        proto = MalleableTreeProtocol()
+        spec = proto.register_spec(net)
+        return net, spec, spec.schema()
+
+    def test_compile_names_to_slots(self):
+        _, spec, schema = self._schema()
+        assert schema.names == spec.names
+        assert schema.width == len(spec.names)
+        for i, name in enumerate(spec.names):
+            assert schema.slot(name) == i
+        with pytest.raises(KeyError):
+            schema.slot("nope")
+
+    def test_schema_cached_per_spec(self):
+        _, spec, schema = self._schema()
+        assert spec.schema() is schema
+
+    def test_row_roundtrip_and_missing_field(self):
+        net, spec, schema = self._schema()
+        state = spec.default_state(net, 3)
+        row = schema.row_of(state)
+        assert schema.to_dict(row) == state
+        assert schema.default_row(net, 3) == row
+        state.pop("mark")
+        with pytest.raises(KeyError):
+            schema.row_of(state)
+
+    def test_extra_boundary_fields_are_ignored(self):
+        net, spec, schema = self._schema()
+        state = spec.default_state(net, 2)
+        state["bt"] = ("assigner-only", "decoration")
+        assert schema.to_dict(schema.row_of(state)) == {
+            k: v for k, v in state.items() if k != "bt"}
+
+
+class TestSlotStateView:
+    def _view(self):
+        net = random_connected_graph(6, seed=1)
+        spec = MalleableTreeProtocol().register_spec(net)
+        schema = spec.schema()
+        state = spec.default_state(net, 4)
+        row = schema.row_of(state)
+        return schema, state, row, schema.view(row)
+
+    def test_mapping_protocol_matches_dict(self):
+        _, state, row, view = self._view()
+        assert view == state and state == dict(view)
+        assert len(view) == len(state)
+        assert set(view) == set(state)
+        assert sorted(view.items()) == sorted(state.items())
+        assert list(view.keys()) == list(state.keys())
+        assert view["rid"] == state["rid"]
+        assert view.get("rid") == state["rid"]
+        assert view.get("nope", 42) == 42
+        assert "rid" in view and "nope" not in view
+        assert view.to_dict() == state and view.copy() == state
+
+    def test_zero_copy_both_planes(self):
+        schema, _, row, view = self._view()
+        row[schema.slot("d")] = 7
+        assert view["d"] == 7
+        view["s"] = 9
+        assert row[schema.slot("s")] == 9
+
+    def test_fixed_layout(self):
+        _, _, _, view = self._view()
+        with pytest.raises(KeyError):
+            view["nope"] = 1
+        with pytest.raises(TypeError):
+            del view["rid"]
+
+    def test_equality_is_content_based(self):
+        schema, state, row, view = self._view()
+        other = schema.view(list(row))
+        assert view == other
+        other["mark"] = True
+        assert view != other
+        assert view != {**state, "mark": "junk"}
+        assert view != {k: v for k, v in state.items() if k != "mark"}
+        assert view != 3
+
+    def test_junk_values_are_storable(self):
+        _, _, _, view = self._view()
+        view["par"] = [1]        # unhashable junk a fault may write
+        view["d"] = -0.5
+        assert view["par"] == [1] and view["d"] == -0.5
+
+
+class TestSlotViewEqualsDictView:
+    """Property: the Mapping plane reproduces the boundary dicts exactly."""
+
+    @pytest.mark.parametrize("proto_name", sorted(PROTOCOLS))
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_random_configurations(self, proto_name, seed):
+        factory, weighted = PROTOCOLS[proto_name]
+        net = random_connected_graph(10, seed=31, weighted=weighted)
+        proto = factory()
+        cfg = random_configuration(net, proto, seed=seed)
+        sim = Simulator(net, proto, config=cfg)
+        schema = sim.schema
+        for v in net.nodes:
+            view = sim.config[v]
+            assert isinstance(view, SlotState)
+            # slot view == dict view, fieldwise and wholesale
+            assert view == cfg[v] and dict(view) == cfg[v]
+            for i, name in enumerate(schema.names):
+                assert view[name] is view.row[i]
+        # ... and the engine's raw rows alias the views (zero-copy)
+        for v in net.nodes:
+            assert sim.config[v].row is sim._state[v]
+
+    def test_views_track_execution(self):
+        net = random_connected_graph(12, seed=3)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto,
+                        config=random_configuration(net, proto, seed=5))
+        sim.run(max_rounds=1_000)
+        dist = net.bfs_distances(net.min_id)
+        for v in net.nodes:
+            assert sim.config[v]["d"] == dist[v]
+            assert sim.config[v].row[sim.schema.slot("d")] == dist[v]
+
+    def test_overwrite_reaches_both_planes(self):
+        net = random_connected_graph(8, seed=2)
+        sim = Simulator(net, SpanningTreeProtocol())
+        sim.run(max_rounds=100)
+        victim = max(net.nodes)
+        sim.overwrite(victim, {"d": 99, "par": NONE})
+        assert sim.config[victim]["d"] == 99
+        assert sim._state[victim][sim.schema.slot("d")] == 99
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+
+
+class TestDictPathEqualsSlotPath:
+    """Golden bit-identity: full executions on the compiled slot rules
+    reproduce the name-keyed fallback engine, over the whole
+    protocol × daemon grid."""
+
+    @pytest.mark.parametrize("sched_name", sorted(ALL_SCHEDULER_FACTORIES))
+    @pytest.mark.parametrize("proto_name", sorted(PROTOCOLS))
+    def test_full_run_bit_identity(self, proto_name, sched_name):
+        factory, weighted = PROTOCOLS[proto_name]
+        net = random_connected_graph(8, seed=21, weighted=weighted)
+        outcomes = []
+        for use_slots in (True, False):
+            proto = factory()  # fresh instance: oracle memos are per-run
+            cfg = random_configuration(net, proto, seed=22)
+            sim = Simulator(net, proto,
+                            ALL_SCHEDULER_FACTORIES[sched_name](23),
+                            config=cfg, use_slot_rules=use_slots)
+            assert (sim._slot_rule is not None) == use_slots
+            result = sim.run(max_rounds=50_000)
+            assert result.silent
+            outcomes.append((result.rounds, result.moves, _hash(sim.config)))
+        assert outcomes[0] == outcomes[1], (
+            f"{proto_name} under {sched_name}: slot path diverged from "
+            f"the dict path")
+
+    def test_protocols_without_slot_rules_fall_back(self):
+        net = random_connected_graph(8, seed=21, weighted=True)
+        sim = Simulator(net, CompactNonSilentMST())
+        assert sim._slot_rule is None  # default fast_step_slots → None
+        sim.run_round()
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+
+
+class TestBatchAwareStepping:
+    """Synchronous rounds raise the all-dirty flag instead of per-write
+    neighborhood bookkeeping — with identical semantics."""
+
+    def test_bulk_batches_engage_the_flag(self):
+        net = random_connected_graph(32, seed=9)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto,
+                        config=random_configuration(net, proto, seed=4))
+        sim.run_round()  # an arbitrary start enables ~everyone
+        assert sim._dirty_all  # the synchronous batch went through the flag
+        assert sim.enabled_nodes() == sim.rescan_enabled()
+        assert not sim._dirty_all  # refresh consumed it
+
+    def test_synchronous_run_matches_rescan_every_round(self):
+        net = random_connected_graph(32, seed=9)
+        proto = SpanningTreeProtocol()
+        sim = Simulator(net, proto,
+                        config=random_configuration(net, proto, seed=4))
+        while sim.run_round():
+            assert sim.enabled_nodes() == sim.rescan_enabled()
+        assert sim.is_silent()
+        assert proto.is_legal(net, sim.config)
