@@ -58,7 +58,15 @@ class BigMemoryMDST(Protocol):
     def _target(self, net: Network) -> tuple:
         cached = getattr(self, "_target_cache", None)
         if cached is None or cached[0] is not net:
-            run = fuerer_raghavachari(net)
+            # Waived as sound: the FR detector reads only the
+            # *incorruptible topology* (nodes/edges/weights), never a
+            # register, so its result is a per-network constant — no
+            # register write can stale a cached proposal and the default
+            # neighborhood invalidation is safe.  Its set iterations
+            # cannot leak nondeterminism into rules either: the computed
+            # tree is pinned by the instance cache for the lifetime of
+            # the run, so every evaluation path sees one value.
+            run = fuerer_raghavachari(net)  # statics: ignore[L, D]
             cached = (net, tuple(sorted(run.tree.edges())))
             self._target_cache = cached
         return cached[1]

@@ -54,7 +54,7 @@ def _resolve_campaign(args: argparse.Namespace) -> Campaign:
     try:
         return get_campaign(name, root_seed=args.root_seed)
     except KeyError as exc:
-        raise SystemExit(f"error: {exc.args[0]}")
+        raise SystemExit(f"error: {exc.args[0]}") from None
 
 
 def _resolve_store(args: argparse.Namespace, campaign: Campaign) -> ResultStore:
@@ -154,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
     # the certification subsystem registers `python -m repro certify`
     from repro.certify.cli import register_certify
     register_certify(sub)
+
+    # the static analyzer registers `python -m repro statics`
+    from repro.statics.cli import register_statics
+    register_statics(sub)
 
     campaign = sub.add_parser("campaign", help="declarative experiment sweeps")
     csub = campaign.add_subparsers(dest="subcommand", required=True)

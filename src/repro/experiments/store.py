@@ -83,11 +83,11 @@ class ResultStore:
                 continue
             try:
                 out.append(json.loads(line))
-            except json.JSONDecodeError:
+            except json.JSONDecodeError as exc:
                 if i == len(lines) - 1:
                     break  # torn tail write from an interrupted campaign
                 raise ValueError(
-                    f"{self.path}: corrupt record on line {i + 1}")
+                    f"{self.path}: corrupt record on line {i + 1}") from exc
         return out
 
     def by_fingerprint(self) -> dict[str, dict[str, Any]]:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any
 
 from repro.analysis import format_table
@@ -76,27 +77,24 @@ def _cmd_list() -> int:
     return 0
 
 
-def _print_comparison(diff: dict[str, Any],
-                      current: dict[str, Any] | None = None) -> None:
-    cur_workloads = (current or {}).get("workloads", {})
-
-    def rss(name: str) -> str:
-        # informational only: on Linux peak RSS is a process high-water
-        # mark, monotone across the workloads of one report
-        value = cur_workloads.get(name, {}).get("peak_rss_kb")
+def _print_comparison(diff: dict[str, Any]) -> None:
+    def rss(row: dict[str, Any]) -> str:
+        # carried on the comparison rows themselves (and thus into
+        # BENCH_comparison.json) since the perf-gate rendering PR
+        value = row.get("peak_rss_kb")
         return f"{value:,}" if value else "-"
 
     rows = []
     for row in diff["rows"]:
         if row["status"] == "skipped":
-            rows.append((row["workload"], "-", "-", "-", rss(row["workload"]),
+            rows.append((row["workload"], "-", "-", "-", rss(row),
                          "skipped: " + row["reason"]))
         else:
             rows.append((row["workload"],
                          f"{row['baseline_mps']:,.0f}",
                          f"{row['current_mps']:,.0f}",
                          f"{row['slowdown']:.2f}x",
-                         rss(row["workload"]),
+                         rss(row),
                          row["status"]))
     print(format_table(
         f"baseline comparison (regression = >{diff['tolerance']}x slower)",
@@ -112,7 +110,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         workloads = select_workloads(args.workload, smoke=args.smoke)
     except KeyError as exc:
-        raise SystemExit(f"error: {exc.args[0]}")
+        raise SystemExit(f"error: {exc.args[0]}") from None
     if not workloads:
         raise SystemExit("error: no workloads selected")
 
@@ -152,8 +150,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         baseline = load_report(args.baseline)
         diff = compare_reports(report, baseline, tolerance=args.tolerance)
+        # persist the diff next to the reports so the CI artifact carries
+        # the gate's verdict (slowdowns + peak RSS), not just raw numbers
+        comparison_path = Path(args.out) / "BENCH_comparison.json"
+        comparison_path.write_text(json.dumps(diff, indent=2) + "\n")
         if not args.quiet or not diff["ok"]:
-            _print_comparison(diff, current=report)
+            _print_comparison(diff)
         if not diff["ok"]:
             if diff["regressions"]:
                 print(f"PERF GATE FAILED: {', '.join(diff['regressions'])} "

@@ -141,9 +141,13 @@ def compare_reports(current: dict[str, Any], baseline: dict[str, Any],
     rows: list[dict[str, Any]] = []
     regressions: list[str] = []
     for name in cur:
+        # informational only, never gated: on Linux peak RSS is a
+        # process high-water mark, monotone across one report's workloads
+        rss = cur[name].get("peak_rss_kb")
         if name not in base:
             rows.append({"workload": name, "status": "skipped",
-                         "reason": "not in baseline"})
+                         "reason": "not in baseline",
+                         "peak_rss_kb": rss})
             continue
         cur_mps = float(cur[name]["moves_per_sec"])
         base_mps = float(base[name]["moves_per_sec"])
@@ -152,7 +156,8 @@ def compare_reports(current: dict[str, Any], baseline: dict[str, Any],
             # workload did no measurable work
             rows.append({"workload": name, "status": "regression",
                          "current_mps": cur_mps, "baseline_mps": base_mps,
-                         "slowdown": float("inf")})
+                         "slowdown": float("inf"),
+                         "peak_rss_kb": rss})
             regressions.append(name)
             continue
         slowdown = base_mps / cur_mps if base_mps > 0 else 0.0
@@ -160,7 +165,8 @@ def compare_reports(current: dict[str, Any], baseline: dict[str, Any],
         rows.append({"workload": name, "status": status,
                      "current_mps": round(cur_mps, 1),
                      "baseline_mps": round(base_mps, 1),
-                     "slowdown": round(slowdown, 3)})
+                     "slowdown": round(slowdown, 3),
+                     "peak_rss_kb": rss})
         if status == "regression":
             regressions.append(name)
     for name in base:

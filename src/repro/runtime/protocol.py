@@ -21,8 +21,16 @@ from repro.graphs.network import Network
 from repro.runtime.registers import RegisterSpec
 from repro.runtime.schema import SlotState
 
-__all__ = ["NodeView", "Protocol", "ComposedProtocol", "effective_delta",
-           "adapt_step_to_slots"]
+__all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
+           "effective_delta", "adapt_step_to_slots"]
+
+#: The rule surface of a protocol, in evaluation-preference order: the
+#: names a subclass may implement to define its transition function.
+#: ``repro.statics`` analyzes exactly these entrypoints, and
+#: :meth:`Protocol.rule_contract` reports which of them a class actually
+#: overrides — one definition of "the rule surface" shared by the
+#: runtime, the analyzer, and the docs.
+RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots")
 
 
 def effective_delta(protocol: "Protocol",
@@ -238,6 +246,34 @@ class Protocol(ABC):
         fields that change.
         """
 
+    # -- contract metadata ------------------------------------------------
+
+    def rule_contract(self) -> dict[str, object]:
+        """Machine-readable summary of this protocol's rule surface.
+
+        Reports the declared contracts (:attr:`read_locality`,
+        :attr:`exact_deltas`) plus which of :data:`RULE_ENTRYPOINTS`
+        this class actually implements (i.e. overrides away from the
+        :class:`Protocol` defaults).  ``repro.statics`` drives its
+        analysis off this — the analyzer never guesses at the surface —
+        and compositions report their layers recursively.
+        """
+        cls = type(self)
+        entrypoints: dict[str, bool] = {}
+        for name in RULE_ENTRYPOINTS:
+            defining = next(
+                (c for c in cls.__mro__ if name in c.__dict__), None)
+            entrypoints[name] = (defining is not None
+                                 and defining is not Protocol)
+        return {
+            "protocol": self.name,
+            "class": f"{cls.__module__}.{cls.__qualname__}",
+            "read_locality": self.read_locality,
+            "exact_deltas": self.exact_deltas,
+            "entrypoints": entrypoints,
+            "layers": None,
+        }
+
     # -- optional hooks ---------------------------------------------------
 
     def is_legal(self, net: Network, config: Mapping[int, Mapping[str, object]]) -> bool:
@@ -330,6 +366,12 @@ class ComposedProtocol(Protocol):
     def is_legal(self, net: Network, config) -> bool:
         return all(_safe_legal(layer, net, config) for layer in self.layers)
 
+    def rule_contract(self) -> dict[str, object]:
+        contract = super().rule_contract()
+        contract["layers"] = [layer.rule_contract()
+                              for layer in self.layers]
+        return contract
+
 
 def _safe_legal(layer: Protocol, net: Network, config) -> bool:
     try:
@@ -348,6 +390,14 @@ def adapt_step_to_slots(protocol: Protocol, schema):
     re-keyed to slot indices.  Exactly as fast as ``step`` — the adapter
     exists for semantic uniformity of the engine's slot plane, not for
     speed.
+
+    Write-ownership audit (statics W-series): this bridge never mutates
+    the rows it receives — the re-keyed delta is a fresh dict, the
+    patched own register is wrapped read-only in a :class:`SlotState`
+    view, and the composition above (:meth:`ComposedProtocol.step` /
+    ``fast_step_slots``) copies before applying pending layer updates
+    (``dict(current[node])`` / ``own.copy()``).  The in-place ``cur``
+    writes in the composed slot rule land on that private copy only.
     """
     step = protocol.step
     index = schema.index

@@ -19,8 +19,12 @@ trusting the implementation.
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # schema.py imports nothing from here at runtime
+    from repro.runtime.schema import StateSchema
 
 from repro._bits import (
     bits_for_counter,
@@ -92,13 +96,13 @@ class Field:
     corrupt: Callable[[Network, int, random.Random], object]
 
 
-def id_field(name: str, default=None) -> Field:
+def id_field(name: str, default: int | None = None) -> Field:
     """A field storing a node identity from {1, ..., id_space}.
 
     ``default``: None means "own id".
     """
 
-    def default_fn(net: Network, node: int):
+    def default_fn(net: Network, node: int) -> int:
         return node if default is None else default
 
     return Field(
@@ -112,7 +116,7 @@ def id_field(name: str, default=None) -> Field:
 def opt_id_field(name: str) -> Field:
     """An identity or NONE (e.g. a parent pointer; the root stores NONE)."""
 
-    def corrupt_fn(net: Network, node: int, rng: random.Random):
+    def corrupt_fn(net: Network, node: int, rng: random.Random) -> object:
         if rng.random() < 0.2:
             return NONE
         # corruption of a pointer usually lands on some id; bias toward
@@ -129,7 +133,8 @@ def opt_id_field(name: str) -> Field:
     )
 
 
-def counter_field(name: str, max_value: Callable[[Network], int], default=0) -> Field:
+def counter_field(name: str, max_value: Callable[[Network], int],
+                  default: int = 0) -> Field:
     """A bounded integer counter in {0, ..., max_value(net)}."""
 
     return Field(
@@ -143,7 +148,7 @@ def counter_field(name: str, max_value: Callable[[Network], int], default=0) -> 
 def opt_counter_field(name: str, max_value: Callable[[Network], int]) -> Field:
     """A bounded counter or NONE (a prunable label entry)."""
 
-    def corrupt_fn(net: Network, node: int, rng: random.Random):
+    def corrupt_fn(net: Network, node: int, rng: random.Random) -> object:
         if rng.random() < 0.2:
             return NONE
         return rng.randint(0, max_value(net))
@@ -165,7 +170,8 @@ def flag_field(name: str, default: bool = False) -> Field:
     )
 
 
-def enum_field(name: str, states: tuple, default_state=None) -> Field:
+def enum_field(name: str, states: Sequence[object],
+               default_state: object = None) -> Field:
     """A field over a fixed finite state set."""
     if not states:
         raise ValueError("enum_field needs at least one state")
@@ -182,7 +188,7 @@ def enum_field(name: str, states: tuple, default_state=None) -> Field:
 def weight_field(name: str) -> Field:
     """An edge weight or NONE."""
 
-    def corrupt_fn(net: Network, node: int, rng: random.Random):
+    def corrupt_fn(net: Network, node: int, rng: random.Random) -> object:
         if rng.random() < 0.2:
             return NONE
         return rng.randint(1, max(1, net.weight_space()))
@@ -198,7 +204,7 @@ def weight_field(name: str) -> Field:
 def edge_field(name: str) -> Field:
     """An undirected edge (pair of ids) or NONE, e.g. a selected swap edge."""
 
-    def corrupt_fn(net: Network, node: int, rng: random.Random):
+    def corrupt_fn(net: Network, node: int, rng: random.Random) -> object:
         if rng.random() < 0.25:
             return NONE
         u = rng.randint(1, net.id_space)
@@ -235,9 +241,10 @@ class RegisterSpec:
             raise ValueError(f"duplicate field names: {dupes}")
         self._fields: tuple[Field, ...] = tuple(fields)
         self._by_name: dict[str, Field] = {f.name: f for f in fields}
-        self._schema = None  # compiled lazily, once per spec instance
+        #: compiled lazily, once per spec instance
+        self._schema: StateSchema | None = None
 
-    def schema(self):
+    def schema(self) -> StateSchema:
         """The compiled :class:`~repro.runtime.schema.StateSchema`.
 
         Cached on the spec instance: the simulator binds one spec per

@@ -35,7 +35,12 @@ not as a design point.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Iterator, Mapping, MutableMapping, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # registers imports this module; keep the cycle lazy
+    from repro.graphs.network import Network
+    from repro.runtime.registers import Field, RegisterSpec
 
 __all__ = ["StateSchema", "SlotState"]
 
@@ -51,14 +56,14 @@ class StateSchema:
 
     __slots__ = ("spec", "names", "index", "fields", "width")
 
-    def __init__(self, spec) -> None:
+    def __init__(self, spec: RegisterSpec) -> None:
         #: the originating :class:`RegisterSpec` (field encoders live there)
-        self.spec = spec
+        self.spec: RegisterSpec = spec
         #: field names in slot order
         self.names: tuple[str, ...] = tuple(spec.names)
         #: field name -> slot index
         self.index: dict[str, int] = {n: i for i, n in enumerate(self.names)}
-        self.fields = tuple(spec.fields)
+        self.fields: tuple[Field, ...] = tuple(spec.fields)
         #: number of slots in a row
         self.width: int = len(self.names)
 
@@ -66,7 +71,7 @@ class StateSchema:
         """The slot index of ``name`` (KeyError on unknown fields)."""
         return self.index[name]
 
-    def row_of(self, state: Mapping[str, object]) -> list:
+    def row_of(self, state: Mapping[str, object]) -> list[object]:
         """Encode a name-keyed state into a fresh slot row.
 
         Raises KeyError when ``state`` misses a field of the layout;
@@ -75,15 +80,15 @@ class StateSchema:
         """
         return [state[name] for name in self.names]
 
-    def to_dict(self, row) -> dict[str, object]:
+    def to_dict(self, row: Sequence[object]) -> dict[str, object]:
         """Decode a slot row into a plain name-keyed dict (a copy)."""
         return dict(zip(self.names, row))
 
-    def default_row(self, net, node: int) -> list:
+    def default_row(self, net: Network, node: int) -> list[object]:
         """The reset register of ``node`` as a slot row."""
         return [f.default(net, node) for f in self.fields]
 
-    def view(self, row) -> "SlotState":
+    def view(self, row: list[object]) -> "SlotState":
         """A zero-copy Mapping view over ``row``."""
         return SlotState(self, row)
 
@@ -91,7 +96,7 @@ class StateSchema:
         return f"StateSchema({', '.join(self.names)})"
 
 
-class SlotState(MutableMapping):
+class SlotState(MutableMapping[str, object]):
     """A dict-compatible, zero-copy view over one slot row.
 
     Reads and writes go straight through to the backing list, so the
@@ -107,25 +112,25 @@ class SlotState(MutableMapping):
 
     __slots__ = ("_names", "_index", "row")
 
-    def __init__(self, schema: StateSchema, row) -> None:
-        self._names = schema.names
-        self._index = schema.index
+    def __init__(self, schema: StateSchema, row: list[object]) -> None:
+        self._names: tuple[str, ...] = schema.names
+        self._index: dict[str, int] = schema.index
         #: the backing slot row (shared, mutable)
-        self.row = row
+        self.row: list[object] = row
 
     # -- Mapping protocol -------------------------------------------------
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> object:
         return self.row[self._index[name]]
 
-    def __setitem__(self, name: str, value) -> None:
+    def __setitem__(self, name: str, value: object) -> None:
         self.row[self._index[name]] = value
 
     def __delitem__(self, name: str) -> None:
         raise TypeError("register layouts are fixed: cannot delete "
                         f"field {name!r}")
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._names)
 
     def __len__(self) -> int:
@@ -134,17 +139,17 @@ class SlotState(MutableMapping):
     def __contains__(self, name: object) -> bool:
         return name in self._index
 
-    def get(self, name: str, default=None):
+    def get(self, name: str, default: object = None) -> object:
         i = self._index.get(name)
         return default if i is None else self.row[i]
 
-    def keys(self):
+    def keys(self):  # type: ignore[override]  # tuple is a cheap KeysView here
         return self._names
 
-    def items(self):
+    def items(self):  # type: ignore[override]
         return list(zip(self._names, self.row))
 
-    def values(self):
+    def values(self):  # type: ignore[override]
         return list(self.row)
 
     def to_dict(self) -> dict[str, object]:
@@ -155,7 +160,7 @@ class SlotState(MutableMapping):
 
     # -- equality ---------------------------------------------------------
 
-    __hash__ = None  # mutable, like dict
+    __hash__ = None  # type: ignore[assignment]  # mutable, like dict
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SlotState):

@@ -1,0 +1,133 @@
+"""``python -m repro statics`` — the static-analysis command line.
+
+::
+
+    python -m repro statics check
+    python -m repro statics check --protocol guided-mst --format json
+    python -m repro statics check --write-baseline
+    python -m repro statics rules
+
+``check`` exits 0 when every finding is waived or baselined, 1 when any
+finding is active, 2 on usage errors — so CI can gate on it directly.
+``--out PATH`` writes the JSON report regardless of format, for artifact
+upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.statics.analyzer import (
+    DEFAULT_BASELINE,
+    analyze_registry,
+    finalize,
+)
+from repro.statics.model import write_baseline
+from repro.statics.report import build_report, render_ascii
+from repro.statics.rules import RULE_CATALOG
+
+__all__ = ["main", "register_statics"]
+
+
+def add_check_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", action="append", metavar="NAME",
+                        help="restrict to one registry protocol "
+                             "(repeatable; default: all)")
+    parser.add_argument("--format", choices=("ascii", "json"),
+                        default="ascii",
+                        help="stdout rendering (default: ascii)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=str(DEFAULT_BASELINE),
+                        help="committed baseline of acknowledged findings "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="acknowledge every current finding into "
+                             "--baseline and exit 0")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write the JSON report to PATH "
+                             "(the CI artifact)")
+    parser.add_argument("--no-runtime", action="store_true",
+                        help="skip the ComposedProtocol bridge audit")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import PROTOCOLS
+    names = args.protocol
+    if names:
+        unknown = [n for n in names if n not in PROTOCOLS]
+        if unknown:
+            print(f"error: unknown protocol(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(PROTOCOLS))})",
+                  file=sys.stderr)
+            return 2
+    findings = analyze_registry(names,
+                                include_runtime=not args.no_runtime)
+
+    if args.write_baseline:
+        finalize(findings, baseline=None)  # inline waivers still apply
+        write_baseline(args.baseline, findings)
+        kept = sum(1 for f in findings if not f.waived)
+        print(f"wrote {args.baseline}: {kept} finding(s) acknowledged")
+        return 0
+
+    finalize(findings, baseline=args.baseline)
+    report = build_report(findings,
+                          sorted(names) if names else sorted(PROTOCOLS))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_ascii(report))
+    active = report["counts"]["active"]
+    if active:
+        print(f"STATICS GATE FAILED: {active} active finding(s) — fix, "
+              f"waive with '# statics: ignore[RULE]', or acknowledge "
+              f"via --write-baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    rows = [(rid, series, what) for rid, series, what in RULE_CATALOG]
+    print(format_table("statics rule catalog (see EXPERIMENTS.md)",
+                       ["rule", "series", "what it catches"], rows))
+    return 0
+
+
+def register_statics(subparsers) -> None:
+    """Attach the ``statics`` subcommand to ``python -m repro``."""
+    p = subparsers.add_parser(
+        "statics",
+        help="AST rule-surface analyzer (locality/ownership/determinism)")
+    ssub = p.add_subparsers(dest="subcommand", required=True)
+
+    p_check = ssub.add_parser(
+        "check", help="analyze the protocol registry; exit 1 on findings")
+    add_check_options(p_check)
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_rules = ssub.add_parser("rules", help="print the rule catalog")
+    p_rules.set_defaults(fn=_cmd_rules)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro statics",
+        description="static rule-surface analysis of registered protocols")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+    p_check = sub.add_parser("check")
+    add_check_options(p_check)
+    p_check.set_defaults(fn=_cmd_check)
+    p_rules = sub.add_parser("rules")
+    p_rules.set_defaults(fn=_cmd_rules)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -578,11 +578,13 @@ class TestModelCheckerFoundRegressions:
 class TestBenchReportMentionsRss:
     def test_comparison_table_has_rss_column(self, capsys):
         from repro.perf.cli import _print_comparison
+        # peak_rss_kb rides on the comparison rows themselves (and thus
+        # into BENCH_comparison.json) since the statics PR
         diff = {"tolerance": 2.5, "rows": [
             {"workload": "w", "status": "ok", "current_mps": 10.0,
-             "baseline_mps": 10.0, "slowdown": 1.0}], "compared": 1,
+             "baseline_mps": 10.0, "slowdown": 1.0,
+             "peak_rss_kb": 12345}], "compared": 1,
             "regressions": [], "ok": True}
-        current = {"workloads": {"w": {"peak_rss_kb": 12345}}}
-        _print_comparison(diff, current=current)
+        _print_comparison(diff)
         out = capsys.readouterr().out
         assert "peak rss KiB" in out and "12,345" in out
