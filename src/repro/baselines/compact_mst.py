@@ -70,6 +70,31 @@ class CompactNonSilentMST(Protocol):
             return None  # wait for laggards
         return {"wave": (my + 1) % self.MOD}
 
+    def fast_step_slots(self, schema):
+        """The wave rule compiled to slot indices (Protocol.fast_step_slots).
+
+        A transliteration of :meth:`step`: every tree neighbor's lag test
+        is evaluated (no early exit) so junk wave values raise the same
+        TypeError at the same selection the NodeView path would.
+        """
+        PAR, WAVE = schema.slots("par", "wave")
+        MOD = self.MOD
+        HALF = MOD // 2
+
+        def rule(net, config, me, own, nbr_rows):
+            my = own[WAVE]
+            mypar = own[PAR]
+            behind = False
+            for u, st in nbr_rows:
+                if st[PAR] == me or mypar == u:
+                    if (st[WAVE] - my) % MOD > HALF:
+                        behind = True
+            if behind:
+                return None
+            return {WAVE: (my + 1) % MOD}
+
+        return rule
+
     def is_legal(self, net: Network, config) -> bool:
         """Legal = the parent pointers encode the MST (the wave counters
         keep spinning regardless — that is the point)."""

@@ -93,6 +93,11 @@ class DigestLayer(Protocol):
                  parent_field: str = "par") -> None:
         self.fields = tuple(fields)
         self.parent_field = parent_field
+        # Writing ``ver`` leaves the expected digest unchanged (it hashes
+        # the content fields and the *children's* digests), so the writer
+        # lands exactly on its target — unless ``ver`` is itself hashed,
+        # which makes the digest chase its own tail.
+        self.settles_after_move = "ver" not in self.fields
 
     def register_spec(self, net: Network) -> RegisterSpec:
         return RegisterSpec([
@@ -150,6 +155,84 @@ class DigestLayer(Protocol):
             if own[VER] != want:
                 return {VER: want}
             return None
+
+        return rule
+
+    def vector_step(self, schema, cols):
+        """The digest fixpoint over the columnar plane (Protocol.vector_step).
+
+        The child relation (*which* neighbors point here) is the only
+        1-hop read, so it is the only columnar one: one mask over the CSR
+        edge arrays of the ``par`` column.  Content and digests are read
+        from the raw rows — ``ver`` is a 64-bit *unsigned* hash that does
+        not fit the signed columns (and junk content fields may not
+        encode at all), but their true reprs are what feeds sha256, so
+        the row plane is authoritative.  Honors composition patches on
+        the own register, mirroring :meth:`fast_step_slots`.
+        """
+        index = schema.index
+        VER = index["ver"]
+        PARF = index.get(self.parent_field)
+        field_slots = tuple(index.get(f) for f in self.fields)
+        rows = cols.rows
+        ids = cols.ids
+        n = cols.n
+        np = cols.np
+
+        def rule(store, active, patch=None):
+            if PARF is None:
+                kids_pos = None
+            else:
+                if not store.valid_slot(PARF):
+                    return None
+                par = store.col(PARF)
+                # group child positions by owner; CSR edge order keeps
+                # every per-node list ascending in neighbor id, which is
+                # exactly the scalar rule's sorted() order (children are
+                # distinct, so the id is the whole sort key)
+                kids_pos: list[list[int]] = [[] for _ in range(n)]
+                if np is not None:
+                    kmask = (par[store.nbr_index]
+                             == store.ids_arr[store.owner_index])
+                    kedges = np.nonzero(kmask)[0]
+                    owners = store.owner_index[kedges].tolist()
+                    kpos = store.nbr_index[kedges].tolist()
+                    for o, p in zip(owners, kpos):
+                        kids_pos[o].append(p)
+                else:
+                    nbr = store.nbr_index
+                    owner = store.owner_index
+                    for e in range(store.e):
+                        p = nbr[e]
+                        o = owner[e]
+                        if par[p] == ids[o]:
+                            kids_pos[o].append(p)
+            get_patch = patch.get if patch else None
+            out = {}
+            for i in range(n):
+                me = ids[i]
+                row = rows[i]
+                prow = get_patch(me) if get_patch is not None else None
+                if prow is None:
+                    content = tuple(
+                        repr(row[s]) if s is not None else "None"
+                        for s in field_slots)
+                    cur = row[VER]
+                else:
+                    content = tuple(
+                        repr(prow.get(s, row[s])) if s is not None
+                        else "None"
+                        for s in field_slots)
+                    cur = prow.get(VER, row[VER])
+                if kids_pos is None:
+                    kids = ()
+                else:
+                    kids = tuple(
+                        (ids[p], rows[p][VER]) for p in kids_pos[i])
+                want = node_digest(me, content, kids)
+                if cur != want:
+                    out[me] = {VER: want}
+            return out
 
         return rule
 

@@ -29,6 +29,7 @@ is reused there for recovery after faults.
 from __future__ import annotations
 
 from repro.graphs.network import Network
+from repro.runtime.columns import NONE_SENTINEL
 from repro.runtime.protocol import NodeView, Protocol
 from repro.runtime.registers import (
     NONE,
@@ -49,6 +50,12 @@ class SpanningTreeProtocol(Protocol):
     #: below are built by comparing against ``own`` first), so the engine
     #: skips its no-op filter
     exact_deltas = True
+    #: applying a proposal always lands the register on the rule's own
+    #: fixpoint for the unchanged neighborhood: case A writes the stable
+    #: root claim ``(me, NONE, 0)`` (best is still ``(me, 0)``), case B
+    #: adopts the best claim with a witness parent that realizes it —
+    #: re-evaluating either returns None until a neighbor changes
+    settles_after_move = True
 
     def __init__(self) -> None:
         # per-network constant cache: n_bound is an incorruptible constant,
@@ -154,20 +161,30 @@ class SpanningTreeProtocol(Protocol):
         other at every scheduler selection.
         """
         RID, PAR, D = schema.slot("rid"), schema.slot("par"), schema.slot("d")
+        cache: list = []  # (net, bound1, adjacency_sets) per-net constants
 
         def rule(net: Network, config, me: int, own, nbr_rows,
-                 _self=self) -> dict | None:
+                 _c=cache) -> dict | None:
             best_rid, best_d = me, 0
-            if net is not _self._bound_net:
-                _self._bound_net = net
-                _self._bound1 = net.n_bound - 1
-            bound1 = _self._bound1
+            if not _c or _c[0] is not net:
+                # adjacency_sets is the per-node neighbor-set table; the
+                # rule only ever reads _c[2][me] — locality-equivalent to
+                # net.neighbor_set(me), cached once to skip the property
+                # hop on the parent-membership probe
+                _c[:] = (net, net.n_bound - 1,
+                         net.adjacency_sets)  # statics: ignore[L001]
+            bound1 = _c[1]
             for _, st in nbr_rows:
                 rid_u, d_u = st[RID], st[D]
+                # improvement test first: once a good claim is adopted,
+                # most neighbors fail it in one comparison.  best_rid is
+                # always <= me, so rid_u < best_rid subsumes rid_u < me;
+                # the tie arm re-checks it for the best_rid == me start.
                 try:
-                    if (rid_u < me and -1 < d_u < bound1
-                            and (rid_u < best_rid or (rid_u == best_rid
-                                                      and d_u + 1 < best_d))
+                    if ((rid_u < best_rid
+                         or (rid_u == best_rid and rid_u < me
+                             and d_u + 1 < best_d))
+                            and -1 < d_u < bound1
                             and isinstance(rid_u, int)
                             and isinstance(d_u, int)):
                         best_rid, best_d = rid_u, d_u + 1
@@ -181,7 +198,7 @@ class SpanningTreeProtocol(Protocol):
                         return None
                 else:
                     try:
-                        in_nbrs = par in net.neighbor_set(me)
+                        in_nbrs = par in _c[2][me]
                     except TypeError:
                         in_nbrs = False
                     if in_nbrs:
@@ -210,6 +227,316 @@ class SpanningTreeProtocol(Protocol):
             if d != best_d:
                 delta[D] = best_d
             return delta or None
+
+        return rule
+
+    def fast_write_impact(self, schema):
+        """Which neighbors a write can re-enable (Protocol.fast_write_impact).
+
+        The rule reads a neighbor ``v`` only through its candidate
+        contribution — ``(rid, d+1)`` when ``rid < me`` and ``d`` is a
+        bounded int, nothing otherwise — and through the stability /
+        witness probes, which match only values that *are* valid
+        candidate contributions.  So after a write to ``v``:
+
+        * a ``par``-only write changes nothing any neighbor reads;
+        * otherwise neighbor ``u`` is affected only if ``u``'s parent
+          pointer names ``v`` (the stability probe reads the parent's
+          ``(rid, d)`` unconditionally), or ``v``'s contribution
+          *mattered*: ``u``'s rule output depends on the contribution
+          multiset only through its lexicographic minimum, the smallest
+          neighbor achieving it, and the parent probe — and ``u``'s
+          best reachable claim is already known to the engine: it is
+          ``u``'s row merged with its fresh proposal.  Packing claims
+          into ``rid * n_bound + d`` keys (valid ``d`` lives in
+          ``[0, n_bound)``):
+
+          - new key *below* ``u``'s best: a new minimum — evaluate;
+          - new key *equal* to the best (a tie): the canonical witness
+            moves only if ``u`` is mid-adoption with a witness larger
+            than ``v`` (a stable ``u``'s probe does not care who else
+            offers its claim) — evaluate exactly then;
+          - old key equal to the best: ``v`` was *a* provider of the
+            minimum, which matters only if ``u`` was adopting *through*
+            ``v`` — any other provider (for an enabled ``u``, its
+            witness is the smallest) still offers the same minimum, so
+            the output is unchanged — evaluate only when ``u``'s
+            effective witness is ``v``;
+          - anything else leaves every read ``u`` makes unchanged.
+
+          Any junk that defeats the packing — on either side —
+          includes ``u`` conservatively.
+        """
+        RID, PAR, D = schema.slots("rid", "par", "d")
+        cache: list = []  # (net, K, bound1, adjacency) per-net constants
+
+        def impact(net: Network, rows, v: int, delta, old, proposal,
+                   _c=cache) -> list[int] | tuple:
+            if RID not in delta and D not in delta:
+                return ()  # par-only: invisible to every neighbor
+            if not _c or _c[0] is not net:
+                K = net.n_bound
+                _c[:] = (net, K, K - 1, net.adjacency)
+            K = _c[1]
+            bound1 = _c[2]
+            row = rows[v]
+            r_new, d_new = row[RID], row[D]
+            r_old = old[RID] if RID in old else r_new
+            d_old = old[D] if D in old else d_new
+            # candidate-gate validity, u-independent part (isinstance
+            # mirrors the rule's accepted set, bools included; junk that
+            # would raise out of the rule's range test fails here too)
+            ok_old = (isinstance(r_old, int) and isinstance(d_old, int)
+                      and -1 < d_old < bound1)
+            k_old = r_old * K + d_old + 1 if ok_old else 0
+            ok_new = (isinstance(r_new, int) and isinstance(d_new, int)
+                      and -1 < d_new < bound1)
+            k_new = r_new * K + d_new + 1 if ok_new else 0
+            if not ok_old and not ok_new:
+                # no valid contribution either side: only children see it
+                return [u for u in _c[3][v] if rows[u][PAR] == v]
+            if ok_new and (not ok_old or r_new < r_old):
+                lim = r_new  # a contribution is visible to u iff u > rid
+            else:
+                lim = r_old
+            out = []
+            for u in _c[3][v]:
+                row_u = rows[u]
+                if row_u[PAR] == v:
+                    out.append(u)
+                    continue
+                if u <= lim:
+                    continue  # invisible to u before and after
+                nw = ok_new and r_new < u
+                od = ok_old and r_old < u
+                p = proposal[u]
+                if p is None:
+                    rb, db = row_u[RID], row_u[D]
+                else:
+                    rb = p[RID] if RID in p else row_u[RID]
+                    db = p[D] if D in p else row_u[D]
+                if not (isinstance(rb, int) and isinstance(db, int)
+                        and -1 < db < K):
+                    out.append(u)  # unpackable best claim: evaluate
+                    continue
+                kb = rb * K + db
+                if nw and k_new <= kb:
+                    if k_new < kb:
+                        out.append(u)
+                    elif p is not None:
+                        # tie: only a smaller-id witness re-decides an
+                        # adoption in flight (junk witness: evaluate)
+                        wpar = p[PAR] if PAR in p else row_u[PAR]
+                        if not isinstance(wpar, int) or v < wpar:
+                            out.append(u)
+                elif od and k_old == kb and p is not None:
+                    wpar = p[PAR] if PAR in p else row_u[PAR]
+                    if wpar == v:
+                        out.append(u)
+            return out
+
+        return impact
+
+    def vector_step(self, schema, cols):
+        """The same rule over typed columns (Protocol.vector_step).
+
+        Claims pack into one comparison key ``rid * K + dist`` with
+        ``K = n_bound`` (dists live in ``[0, n_bound)``), so "adopt the
+        best reachable claim" becomes one segment-min over the CSR edge
+        arrays and stability one segment-or.  Deltas are rebuilt
+        per-enabled-node in plain Python ints, byte-identical to
+        :meth:`fast_step_slots`.  Declines (scalar fallback) whenever a
+        needed column failed to encode or value magnitudes could
+        overflow the packed key.
+        """
+        RID, PAR, D = schema.slots("rid", "par", "d")
+        if cols.n < 2 or cols.e == 0 or cols.min_degree == 0:
+            return None  # reduceat segments must all be non-empty
+        K = cols.n_bound
+        LIM = (2 ** 62) // K  # |value| < LIM keeps rid * K + d in int64
+        if cols.id_space >= LIM:
+            return None
+        if cols.np is None:
+            return self._compile_vector_py(RID, PAR, D, cols, LIM)
+
+        np = cols.np
+        starts = cols.nbr_offsets[:-1]
+        nbr = cols.nbr_index
+        nbr_ids = cols.nbr_ids
+        owner = cols.owner_index
+        ids_arr = cols.ids_arr
+        ids_list = cols.ids
+        E = cols.e
+        bound1 = K - 1
+        SENT = NONE_SENTINEL
+        BIG = np.int64(2 ** 63 - 1)
+        edge_range = np.arange(E, dtype=np.int64)
+        seed_key = ids_arr * K  # every node's own candidacy: (me, 0)
+
+        def rule(store, active, patch=None):
+            if patch:
+                return None  # always the bottom layer of compositions
+            if not store.valid_slot(RID, PAR, D):
+                return None
+            rid = store.col(RID)
+            par = store.col(PAR)
+            d = store.col(D)
+            # magnitude guard: junk (or NONE-encoded) rid/d beyond the
+            # packable range declines to the scalar path, which handles
+            # arbitrary ints
+            if int(rid.min()) <= -LIM or int(rid.max()) >= LIM:
+                return None
+            if int(d.min()) <= -LIM or int(d.max()) >= LIM:
+                return None
+            rid_e = rid[nbr]
+            d_e = d[nbr]
+            cand = (rid_e < ids_arr[owner]) & (d_e > -1) & (d_e < bound1)
+            key_e = np.where(cand, rid_e * K + d_e + 1, BIG)
+            best_key = np.minimum(seed_key,
+                                  np.minimum.reduceat(key_e, starts))
+            best_rid = best_key // K
+            best_d = best_key - best_rid * K
+            # stability: claim matches the best, and the parent realizes
+            # it (root claims need par = NONE, rid = me, d = 0)
+            par_none = par == SENT
+            root_ok = par_none & (rid == ids_arr) & (d == 0)
+            pmatch = ((nbr_ids == par[owner]) & (rid_e == rid[owner])
+                      & (d_e == d[owner] - 1))
+            pok = np.logical_or.reduceat(pmatch, starts)
+            stable = ((rid == best_rid) & (d == best_d)
+                      & (root_ok | (~par_none & pok & (rid < ids_arr))))
+            en_pos = np.nonzero(~stable)[0]
+            if en_pos.size == 0:
+                return {}
+            # tie-break witness: first (= smallest-id) edge offering the
+            # best claim; only read for non-root adoptions, which always
+            # have one (the claim came from some neighbor)
+            wmask = (rid_e == best_rid[owner]) & (d_e == best_d[owner] - 1)
+            first = np.minimum.reduceat(
+                np.where(wmask, edge_range, E), starts)
+            wpar = nbr_ids[np.minimum(first, E - 1)]
+            # decode the enabled slice to plain Python ints (tolist):
+            # delta reprs feed golden hashes, numpy scalars must not leak
+            en = en_pos.tolist()
+            bra = best_rid[en_pos].tolist()
+            bda = best_d[en_pos].tolist()
+            ra = rid[en_pos].tolist()
+            da = d[en_pos].tolist()
+            pa = par[en_pos].tolist()
+            wa = wpar[en_pos].tolist()
+            out = {}
+            for k, i in enumerate(en):
+                me = ids_list[i]
+                br = bra[k]
+                r0 = ra[k]
+                d0 = da[k]
+                p0 = pa[k]
+                delta = {}
+                if br == me:
+                    if r0 != me:
+                        delta[RID] = me
+                    if p0 != SENT:
+                        delta[PAR] = NONE
+                    if d0 != 0:
+                        delta[D] = 0
+                else:
+                    if r0 != br:
+                        delta[RID] = br
+                    w = wa[k]
+                    if p0 != w:
+                        delta[PAR] = w
+                    bd = bda[k]
+                    if d0 != bd:
+                        delta[D] = bd
+                out[me] = delta
+            return out
+
+        return rule
+
+    def _compile_vector_py(self, RID, PAR, D, cols, LIM):
+        """The columnar rule on the ``array('q')`` fallback backend.
+
+        Same loop shape as :meth:`fast_step_slots` but over encoded
+        memoryviews and CSR positions — no per-node view or pair-list
+        indirection.  Python ints cannot overflow, so the only encoded
+        artifact to handle is the NONE sentinel (a NONE ``rid`` is never
+        a candidate, mirroring the scalar rule's TypeError skip).
+        """
+        off = cols.nbr_offsets
+        nbr = cols.nbr_index
+        nbr_ids = cols.nbr_ids
+        ids_list = cols.ids
+        n = cols.n
+        bound1 = cols.n_bound - 1
+        SENT = NONE_SENTINEL
+
+        def rule(store, active, patch=None):
+            if patch:
+                return None
+            if not store.valid_slot(RID, PAR, D):
+                return None
+            rid = store.col(RID)
+            par = store.col(PAR)
+            d = store.col(D)
+            out = {}
+            for i in range(n):
+                me = ids_list[i]
+                lo = off[i]
+                hi = off[i + 1]
+                best_rid, best_d = me, 0
+                for e in range(lo, hi):
+                    j = nbr[e]
+                    rid_u = rid[j]
+                    if rid_u != SENT and rid_u < me:
+                        d_u = d[j]
+                        if (-1 < d_u < bound1
+                                and (rid_u < best_rid
+                                     or (rid_u == best_rid
+                                         and d_u + 1 < best_d))):
+                            best_rid, best_d = rid_u, d_u + 1
+                r0 = rid[i]
+                d0 = d[i]
+                p0 = par[i]
+                if r0 == best_rid and d0 == best_d:
+                    if p0 == SENT:
+                        if r0 == me and d0 == 0:
+                            continue
+                    else:
+                        stable = False
+                        for e in range(lo, hi):
+                            if nbr_ids[e] == p0:
+                                j = nbr[e]
+                                if (rid[j] == r0 and d[j] == d0 - 1
+                                        and r0 < me):
+                                    stable = True
+                                break
+                        if stable:
+                            continue
+                if best_rid == me:
+                    delta = {}
+                    if r0 != me:
+                        delta[RID] = me
+                    if p0 != SENT:
+                        delta[PAR] = NONE
+                    if d0 != 0:
+                        delta[D] = 0
+                else:
+                    par_d = best_d - 1
+                    w = -1
+                    for e in range(lo, hi):
+                        j = nbr[e]
+                        if rid[j] == best_rid and d[j] == par_d:
+                            w = nbr_ids[e]
+                            break
+                    delta = {}
+                    if r0 != best_rid:
+                        delta[RID] = best_rid
+                    if p0 != w:
+                        delta[PAR] = w
+                    if d0 != best_d:
+                        delta[D] = best_d
+                out[me] = delta
+            return out
 
         return rule
 

@@ -171,6 +171,25 @@ def _build_registry() -> dict[str, Workload]:
             warmup=False,
             tags=("full",),
         ),
+        # The columnar-engine scale tier: the acceptance shape at
+        # n = 65536 (same daemon and init discipline, fresh topology
+        # draw at size).  Tagged ``slow`` — it runs only when named
+        # explicitly (``--workload sst-65536``); a single unwarmed
+        # multi-million-move run to silence is its own warmth.
+        Workload(
+            name="sst-65536",
+            family="engine",
+            protocol="sst",
+            topology="random",
+            topo_params=_params(n=65536, seed=42),
+            scheduler="central-random",
+            scheduler_seed=3,
+            init="arbitrary",
+            init_params=_params(seed=7),
+            repeats=1,
+            warmup=False,
+            tags=("slow",),
+        ),
     ]
     # BFS: the classical ad hoc construction (neighborhood reads) from an
     # adversarial arbitrary configuration; ghost-root flushing makes the
@@ -226,6 +245,15 @@ def _build_registry() -> dict[str, Workload]:
             init="arbitrary", init_params=_params(seed=4),
             round_budget=rounds, tags=("full",),
             **(big if n == 8192 else {})))
+    # the guided-BFS scale tier riding the same columnar engine: slow-
+    # tagged like mdst-2048, one unwarmed budgeted run when named
+    workloads.append(Workload(
+        name="guided-bfs-32768", family="guided-bfs",
+        protocol="guided-bfs", topology="random",
+        topo_params=_params(n=32768, seed=17),
+        init="arbitrary", init_params=_params(seed=4),
+        round_budget=8, repeats=1, warmup=False,
+        tags=("slow",)))
     for n, rounds in ((128, 32), (512, 32), (8192, 12)):
         workloads.append(Workload(
             name=f"guided-mst-{n}", family="guided-mst",

@@ -30,7 +30,8 @@ __all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
 #: :meth:`Protocol.rule_contract` reports which of them a class actually
 #: overrides — one definition of "the rule surface" shared by the
 #: runtime, the analyzer, and the docs.
-RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots")
+RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots",
+                                     "vector_step")
 
 
 def effective_delta(protocol: "Protocol",
@@ -218,6 +219,44 @@ class Protocol(ABC):
         """
         return None
 
+    def vector_step(self, schema, cols):
+        """Compile the columnar bulk-evaluation path, or return ``None``.
+
+        ``cols`` is the :class:`~repro.runtime.columns.ColumnStore` the
+        simulator built for this ``(protocol, network)`` binding: one
+        typed ``int64`` column per field over all nodes, plus CSR
+        adjacency.  A protocol that opts in resolves its slots once and
+        returns a rule
+
+        ``rule(store, active, patch=None) ->
+        dict[int, dict[int, object]] | None``
+
+        evaluating **every** node of the network in one call (the engine
+        invokes it exactly on all-dirty refreshes — synchronous rounds
+        and bulk-dirty batches; ``active`` is reserved for masked
+        partial evaluation and is currently always ``None``).  The
+        result maps each *enabled* node to its slot-keyed delta — the
+        exact dict :meth:`fast_step_slots` would return for that node,
+        with plain Python values (``int`` / ``NONE``, never numpy
+        scalars: reprs feed golden hashes and certificate digests).
+
+        Returning ``None`` — at compile time *or* from the compiled rule
+        at call time — declines the refresh: the engine falls back to
+        the bit-identical scalar slot path.  Rules must decline whenever
+        a column they actually read failed to encode
+        (``store.valid_slot``), and may decline on any value range their
+        vectorized arithmetic cannot represent.
+
+        Composition: inside a :class:`ComposedProtocol`, each layer's
+        rule is called with ``patch`` mapping nodes to the slot updates
+        of the layers below (``None`` when empty).  A rule that cannot
+        honor per-node own-register patches must return ``None`` when
+        ``patch`` is non-empty rather than compute wrong deltas.
+
+        Default: ``None`` — no columnar path; the store is not built.
+        """
+        return None
+
     #: Set to True when :meth:`step` (and :attr:`fast_step`) only ever
     #: return *effective* writes — every returned field differs from the
     #: register's current value.  The engine then skips its per-proposal
@@ -232,6 +271,49 @@ class Protocol(ABC):
     #: decide how far a write invalidates cached proposals: declaring
     #: ``"neighborhood"`` while reading farther yields stale enabledness.
     read_locality: str = "neighborhood"
+
+    #: Set to True when a node that has just applied its *own* proposed
+    #: delta is guaranteed disabled until some neighbor's register next
+    #: changes — i.e. the rule, re-evaluated on the post-write register
+    #: against the unchanged neighborhood it was proposed from, returns
+    #: ``None``.  The engine then retires the mover from the enabled set
+    #: at apply time instead of re-evaluating its transition (roughly one
+    #: rule evaluation saved per move).  Most silent protocols whose rule
+    #: writes a local fixpoint have this property; leave False when in
+    #: doubt — the claim is cross-checked by the incremental-vs-rescan
+    #: suite, not by the engine.
+    settles_after_move: bool = False
+
+    def fast_write_impact(self, schema):
+        """Compile the write-impact filter, or return ``None``.
+
+        An opted-in protocol returns
+
+        ``impact(net, rows, v, delta, old, proposal)
+        -> Sequence[int] | None``
+
+        called by the engine right after applying a single-node write:
+        ``rows`` is the live slot-row table (post-write), ``delta`` the
+        slot-keyed writes just applied to ``v``, ``old`` the displaced
+        values of exactly those slots, and ``proposal`` the engine's
+        fresh proposal table (slot-keyed delta or ``None`` per node,
+        valid as of the pre-write configuration — a node's row merged
+        with its proposal is the register its own rule would produce).
+        It returns the neighbors of ``v`` whose transition output may
+        have changed — a *sound over-approximation* of the affected
+        set — or ``None`` to decline (the engine then invalidates the
+        whole neighborhood, the default discipline).  A correct filter
+        reads only ``v``'s and its neighbors' rows and proposals (the
+        same 1-hop surface as the rule).
+
+        This is an engine-side invalidation hint, not a rule entrypoint:
+        it produces no deltas and is exempt from the rule contract; its
+        soundness is pinned by the incremental-vs-rescan and golden
+        bit-identity suites, which run with and without it.
+
+        Default: ``None`` — every write invalidates its neighborhood.
+        """
+        return None
 
     @abstractmethod
     def register_spec(self, net: Network) -> RegisterSpec:
@@ -359,6 +441,41 @@ class ComposedProtocol(Protocol):
                     updates.update(delta)
                     for i, val in delta.items():
                         cur[i] = val
+            return updates
+
+        return composed
+
+    def vector_step(self, schema, cols):
+        """The composed columnar path (see :class:`Protocol`).
+
+        All-or-nothing: every layer must compile a ``vector_step`` rule,
+        otherwise the composition has no columnar path (mixed
+        column/scalar layers within one atomic step would re-introduce
+        exactly the per-node dispatch the column plane removes).  At
+        call time the accumulated per-node updates are handed to each
+        subsequent layer as its ``patch``, mirroring the own-register
+        overlay of :meth:`step` / :meth:`fast_step_slots`; any layer
+        declining at call time declines the whole composed refresh.
+        """
+        rules = [layer.vector_step(schema, cols) for layer in self.layers]
+        if any(rule is None for rule in rules):
+            return None
+
+        def composed(store, active, patch=None, _rules=tuple(rules)):
+            if patch:
+                # nested compositions never occur; decline if they do
+                return None
+            updates: dict[int, dict[int, object]] = {}
+            for rule in _rules:
+                result = rule(store, active, updates if updates else None)
+                if result is None:
+                    return None
+                for v, delta in result.items():
+                    cur = updates.get(v)
+                    if cur is None:
+                        updates[v] = dict(delta)
+                    else:
+                        cur.update(delta)
             return updates
 
         return composed

@@ -162,6 +162,15 @@ class Scheduler(ABC):
         between :meth:`select` calls.  Default: no-op.
         """
 
+    # central daemons may additionally provide
+    #
+    #     pick(enabled: EnabledSet) -> int
+    #
+    # the single-selection equivalent of ``select`` — same distribution,
+    # same RNG stream, always a member of ``enabled`` — which the
+    # engine's fused stepping loop calls without the list-of-one
+    # round-trip.  Absence simply keeps a scheduler on the general path.
+
 
 class SynchronousScheduler(Scheduler):
     """Every enabled node steps simultaneously."""
@@ -179,12 +188,23 @@ class CentralRandomScheduler(Scheduler):
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
+        # Random.choice(seq) is exactly seq[rng._randbelow(len(seq))]
+        # on CPython; binding the bound method keeps the RNG stream
+        # identical while skipping the choice() frame on the fused path.
+        self._below = getattr(self._rng, "_randbelow", None)
 
     def select(self, enabled: Sequence[int]) -> list[int]:
         if isinstance(enabled, EnabledSet):
             # choose on the backing list: C-level indexing, no O(n) copy
             return [self._rng.choice(enabled._list)]
         return [self._rng.choice(enabled)]
+
+    def pick(self, enabled: EnabledSet) -> int:
+        lst = enabled._list
+        below = self._below
+        if below is not None:
+            return lst[below(len(lst))]
+        return self._rng.choice(lst)
 
 
 class CentralRoundRobinScheduler(Scheduler):
@@ -202,6 +222,13 @@ class CentralRoundRobinScheduler(Scheduler):
         self._cursor = pick
         return [pick]
 
+    def pick(self, enabled: EnabledSet) -> int:
+        lst = enabled._list
+        i = bisect_right(lst, self._cursor)
+        v = lst[i] if i < len(lst) else lst[0]
+        self._cursor = v
+        return v
+
 
 class CentralMaxIdScheduler(Scheduler):
     """Deterministically favors the largest enabled identity."""
@@ -213,6 +240,9 @@ class CentralMaxIdScheduler(Scheduler):
             return [enabled[-1]]
         return [max(enabled)]
 
+    def pick(self, enabled: EnabledSet) -> int:
+        return enabled._list[-1]
+
 
 class CentralMinIdScheduler(Scheduler):
     """Deterministically favors the smallest enabled identity."""
@@ -223,6 +253,9 @@ class CentralMinIdScheduler(Scheduler):
         if isinstance(enabled, EnabledSet):
             return [enabled[0]]
         return [min(enabled)]
+
+    def pick(self, enabled: EnabledSet) -> int:
+        return enabled._list[0]
 
 
 class DistributedRandomScheduler(Scheduler):

@@ -71,6 +71,11 @@ class StateSchema:
         """The slot index of ``name`` (KeyError on unknown fields)."""
         return self.index[name]
 
+    def slots(self, *names: str) -> tuple[int, ...]:
+        """Slot indices for several fields at once (rule compile-time)."""
+        index = self.index
+        return tuple(index[n] for n in names)
+
     def row_of(self, state: Mapping[str, object]) -> list[object]:
         """Encode a name-keyed state into a fresh slot row.
 

@@ -60,6 +60,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.graphs.network import Network
+from repro.runtime.columns import ColumnStore
 from repro.runtime.protocol import NodeView, Protocol, effective_delta
 from repro.runtime.scheduler import EnabledSet, Scheduler, SynchronousScheduler
 
@@ -135,6 +136,7 @@ class Simulator:
         record_trace: bool = False,
         rng: random.Random | None = None,
         use_slot_rules: bool = True,
+        use_vector_rules: bool = True,
     ) -> None:
         self.net = net
         self.protocol = protocol
@@ -230,6 +232,32 @@ class Simulator:
         # oracle-consulting protocols read the whole configuration, so any
         # write invalidates every cached proposal (see Protocol.read_locality)
         self._global_reads = protocol.read_locality == "global"
+        # write-path contracts (Protocol.settles_after_move /
+        # fast_write_impact): movers that provably land disabled retire
+        # from the enabled set at apply time, and a compiled impact filter
+        # narrows which neighbors a write re-dirties.  Both are soundness
+        # claims about the rule itself, so they hold on every engine path;
+        # global readers go through the all-dirty flag instead.
+        self._settles = (not self._global_reads
+                         and bool(getattr(protocol,
+                                          "settles_after_move", False)))
+        self._write_impact = (None if self._global_reads
+                              else protocol.fast_write_impact(self.schema))
+        # columnar bulk-evaluation plane: built only when the protocol
+        # compiles a vector rule for this binding (Protocol.vector_step)
+        # and the slot plane is active; _refresh engages it on all-dirty
+        # passes, everything else stays on the scalar paths.
+        # ``use_vector_rules=False`` is the testing escape hatch that
+        # forces those scalar paths, mirroring ``use_slot_rules``.
+        self._columns: ColumnStore | None = None
+        self._vector_rule = None
+        if (use_vector_rules and self._slot_rule is not None
+                and type(protocol).vector_step is not Protocol.vector_step):
+            store = ColumnStore(self.schema, net, rows)
+            vrule = protocol.vector_step(self.schema, store)
+            if vrule is not None:
+                self._columns = store
+                self._vector_rule = vrule
         if record_trace:
             self._snapshot()
 
@@ -245,7 +273,17 @@ class Simulator:
         the all-dirty flag.  Feeds the resulting enabled-set deltas to the
         scheduler's incremental hooks and prunes the active round's pending
         set, replacing the old per-step ``pending &= rescan``.
+
+        All-dirty passes of vectorized protocols go through the columnar
+        plane (:meth:`_vector_refresh`) instead of the per-node loop; a
+        declined vector evaluation falls through to the scalar pass.
         """
+        if self._dirty_all and self._vector_rule is not None:
+            if self._vector_refresh():
+                if not self._sched_synced:
+                    self.scheduler.reset(self._enabled)
+                    self._sched_synced = True
+                return
         if self._dirty_all:
             items = self._all_nodes
             self._dirty_all = False
@@ -346,6 +384,60 @@ class Simulator:
             self.scheduler.reset(self._enabled)
             self._sched_synced = True
 
+    def _vector_refresh(self) -> bool:
+        """One all-dirty re-proposal through the columnar plane.
+
+        Returns False when the compiled rule declines (stale or
+        unencodable columns, value ranges its arithmetic cannot pack) —
+        the caller then runs the scalar per-node pass, which handles
+        everything.  On success the engine state (proposal table, enabled
+        set, pending round set, scheduler notify) ends exactly as the
+        scalar all-dirty pass would leave it.
+        """
+        store = self._columns
+        if not store.fresh:
+            store.sync()
+        delta_map = self._vector_rule(store, None)
+        if delta_map is None:
+            return False
+        # the rule evaluated every node: the dirty flags are consumed
+        # (only after success — a decline must leave them raised)
+        self._dirty_all = False
+        self._dirty.clear()
+        if not self._exact_deltas and delta_map:
+            # same no-op filter as the scalar pass: enabledness is
+            # defined on effective writes
+            rows = self._state
+            for v in list(delta_map):
+                delta = delta_map[v]
+                own = rows[v]
+                eff = 0
+                for s, val in delta.items():
+                    if own[s] != val:
+                        eff += 1
+                if eff == 0:
+                    del delta_map[v]
+                elif eff != len(delta):
+                    delta_map[v] = {s: val for s, val in delta.items()
+                                    if own[s] != val}
+        proposal = self._proposal
+        proposal.update(dict.fromkeys(self._all_nodes))
+        proposal.update(delta_map)
+        new_ids = sorted(delta_map)
+        enabled = self._enabled
+        added, removed = store.commit_enabled(new_ids, enabled._list)
+        # run_round and the select fast path hold aliases to these
+        # internals: update them in place, never rebind
+        enabled._set.clear()
+        enabled._set.update(new_ids)
+        enabled._list[:] = new_ids
+        if self._pending is not None and removed:
+            self._pending.difference_update(removed)
+        if (self._sched_synced and (added or removed)
+                and self._notify is not None):
+            self._notify(added, removed)
+        return True
+
     def _propose(self, v: int) -> dict[int, object] | None:
         """The pending write of node v (slot-keyed), or None if not enabled."""
         if self._dirty_all or v in self._dirty:
@@ -428,21 +520,74 @@ class Simulator:
                 if delta is not None:
                     writes.append((v, delta))
         rows = self._state
+        bulk = self._global_reads or len(writes) >= self._bulk_dirty
+        impact = None if bulk else self._write_impact
+        olds = [] if impact is not None else None
         for v, delta in writes:
             row = rows[v]
+            if olds is not None:
+                # the impact filter compares against pre-write values
+                olds.append({s: row[s] for s in delta})
             for s, val in delta.items():
                 row[s] = val
-        if self._global_reads or len(writes) >= self._bulk_dirty:
+        store = self._columns
+        if store is not None and writes:
+            # the columns go stale here; _vector_refresh resyncs on demand
+            # (write-through would cost about what the resync does, and is
+            # pure waste on central-daemon runs that never vectorize)
+            store.fresh = False
+        if bulk:
             # bulk batch (synchronous round / global reader): one flag
             # instead of per-write neighborhood set maintenance
             if writes:
                 self._dirty_all = True
         else:
-            adjacency = self.net.adjacency
-            for v, _ in writes:
-                # invalidate proposals in the write neighborhood
-                dirty.add(v)
-                dirty.update(adjacency[v])
+            net = self.net
+            adjacency = net.adjacency
+            # settles_after_move: a mover provably lands disabled, so it
+            # skips re-evaluation and retires from the enabled set below —
+            # unless another mover in its neighborhood may re-enable it
+            # this very batch.  (Movers are pairwise non-adjacent to any
+            # settled node, so no same-batch write can dirty one.)
+            if not self._settles:
+                settled = ()
+            elif len(writes) == 1:
+                settled = (writes[0][0],)
+            else:
+                movers = {v for v, _ in writes}
+                nbr_set = net.neighbor_set
+                settled = tuple(v for v in movers
+                                if movers.isdisjoint(nbr_set(v)))
+            settled_set = set(settled)
+            if impact is not None:
+                for (v, delta), old in zip(writes, olds):
+                    if v not in settled_set:
+                        dirty.add(v)
+                    nbrs = impact(net, rows, v, delta, old, proposal)
+                    # None = the filter declines: full neighborhood
+                    dirty.update(adjacency[v] if nbrs is None else nbrs)
+            else:
+                for v, _ in writes:
+                    # invalidate proposals in the write neighborhood
+                    if v not in settled_set:
+                        dirty.add(v)
+                    dirty.update(adjacency[v])
+            if settled:
+                proposal_table = proposal
+                eset = self._enabled._set
+                elist = self._enabled._list
+                retired: list[int] = []
+                for v in settled:
+                    proposal_table[v] = None
+                    if v in eset:
+                        eset.remove(v)
+                        del elist[bisect_left(elist, v)]
+                        retired.append(v)
+                if retired:
+                    if self._pending is not None:
+                        self._pending.difference_update(retired)
+                    if self._sched_synced and self._notify is not None:
+                        self._notify((), retired)
         self.moves += len(writes)
         if writes:
             # read the observer attributes live: callers may legitimately
@@ -474,19 +619,144 @@ class Simulator:
         apply_batch = self._apply_batch
         enabled = self._enabled
         eset = enabled._set
+        elist = enabled._list
+        # fused single-mover stepping: the central-daemon common case
+        # (one write, a handful of neighborhood re-proposals) is applied
+        # and re-proposed inline, skipping the _apply_batch/_refresh
+        # frames and the dirty-set round trip entirely.  Disabled for
+        # global readers (all-dirty semantics), the name-keyed fallback
+        # path, and mirror-keeping daemons (their notify contract is the
+        # general path's).  State evolution is identical: same writes,
+        # same proposals, same enabled-set contents at every select.
+        fused = (self._slot_rule is not None and not self._global_reads
+                 and self._notify is None)
+        pick = None
+        if fused:
+            net = self.net
+            config = self.config
+            rows = self._state
+            slot_rule = self._slot_rule
+            nbr_rows = self._nbr_rows
+            proposal = self._proposal
+            adjacency = net.adjacency
+            impact = self._write_impact
+            settles = self._settles
+            exact = self._exact_deltas
+            store = self._columns
+            dirty = self._dirty
+            # latched for the round (reassigning them mid-round from an
+            # invariant callback is not a supported pattern)
+            invariant = self.invariant
+            record = self.record_trace
+            # single-selection daemons expose ``pick`` (same distribution,
+            # same RNG stream as select); it returns a member of the
+            # enabled set by construction, so the fused path skips the
+            # list-of-one round trip and the membership re-check
+            pick = getattr(self.scheduler, "pick", None)
         try:
             while pending:
-                refresh()
-                if not pending:
-                    break
-                chosen = select(enabled)
-                # single-node fast path for the central-daemon common case;
-                # validate() handles (and rejects) everything else
-                if len(chosen) != 1 or chosen[0] not in eset:
-                    validate(chosen)
+                if self._dirty_all or self._dirty:
+                    refresh()
+                    if not pending:
+                        break
+                if pick is not None:
+                    v = pick(enabled)
+                else:
+                    chosen = select(enabled)
+                    if len(chosen) != 1:
+                        validate(chosen)
+                        apply_batch(chosen)
+                        pending.difference_update(chosen)
+                        budget -= len(chosen)
+                        if budget <= 0:
+                            raise RuntimeError(
+                                f"round exceeded {max_moves} moves "
+                                f"(protocol={self.protocol.name}, "
+                                f"n={self.net.n})"
+                            )
+                        continue
+                    v = chosen[0]
+                    if v not in eset:
+                        validate(chosen)  # raises with the full diagnosis
+                if fused:
+                    delta = proposal[v]
+                    row = rows[v]
+                    old = None
+                    if impact is not None:
+                        # capture + write in one pass (the filter
+                        # compares against the displaced values)
+                        old = {}
+                        for s, val in delta.items():
+                            old[s] = row[s]
+                            row[s] = val
+                    else:
+                        for s, val in delta.items():
+                            row[s] = val
+                    self.moves += 1
+                    if store is not None:
+                        store.fresh = False
+                        store = None  # stale once is stale enough
+                    if settles:
+                        # the mover provably landed disabled: retire
+                        proposal[v] = None
+                        eset.remove(v)
+                        del elist[bisect_left(elist, v)]
+                    targets = (impact(net, rows, v, delta, old, proposal)
+                               if impact is not None else None)
+                    if targets is None:
+                        targets = adjacency[v]
+                    if not settles:
+                        targets = [*targets, v]
+                    i = 0
+                    try:
+                        for i, u in enumerate(targets):
+                            own = rows[u]
+                            d_u = slot_rule(net, config, u, own,
+                                            nbr_rows[u])
+                            if not d_u:
+                                d_u = None
+                            elif not exact:
+                                eff = 0
+                                for k, val in d_u.items():
+                                    if own[k] != val:
+                                        eff += 1
+                                if eff == 0:
+                                    d_u = None
+                                elif eff != len(d_u):
+                                    d_u = {k: val
+                                           for k, val in d_u.items()
+                                           if own[k] != val}
+                            proposal[u] = d_u
+                            if d_u is not None:
+                                if u not in eset:
+                                    eset.add(u)
+                                    insort(elist, u)
+                            elif u in eset:
+                                eset.remove(u)
+                                del elist[bisect_left(elist, u)]
+                                pending.discard(u)
+                    except BaseException:
+                        # same coherence contract as _refresh: the
+                        # failing node and everything unprocessed
+                        # stay dirty for the next settle
+                        dirty.update(targets[i:])
+                        raise
+                    pending.discard(v)
+                    if invariant is not None and not invariant(net, config):
+                        self._invariant_violations += 1
+                    if record:
+                        self._snapshot()
+                    budget -= 1
+                    if budget <= 0:
+                        raise RuntimeError(
+                            f"round exceeded {max_moves} moves "
+                            f"(protocol={self.protocol.name}, "
+                            f"n={self.net.n})"
+                        )
+                    continue
                 apply_batch(chosen)
-                pending.difference_update(chosen)
-                budget -= len(chosen)
+                pending.discard(v)
+                budget -= 1
                 if budget <= 0:
                     raise RuntimeError(
                         f"round exceeded {max_moves} moves "
@@ -605,6 +875,10 @@ class Simulator:
             raise KeyError(f"unknown fields: {sorted(unknown)}")
         for name, val in updates.items():
             row[index[name]] = val
+        if self._columns is not None:
+            # adversarial writes bypass the write-through; resync the
+            # columns from the rows on the next vector refresh
+            self._columns.fresh = False
         if self._global_reads:
             self._dirty_all = True
         else:

@@ -94,6 +94,7 @@ def analyze_runtime_bridges(scopes: dict[int, ScopeMap] | None = None
         ("step", runtime_protocol.ComposedProtocol.step),
         ("fast_step_slots",
          runtime_protocol.ComposedProtocol.fast_step_slots),
+        ("vector_step", runtime_protocol.ComposedProtocol.vector_step),
         ("step", runtime_protocol.adapt_step_to_slots),
         ("step", runtime_protocol.effective_delta),
     )

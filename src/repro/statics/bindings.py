@@ -7,7 +7,9 @@ slot index, an unordered set.  Full dataflow analysis is out of scope —
 instead this module exploits the repo's rigid rule-surface calling
 conventions (``step(self, view)``, ``fast_step(self, net, config, me,
 nbr_rows)``, ``rule(net, config, node, own, nbr_rows)``,
-``fast_step_slots(self, schema)``) to seed parameter tags by name, then
+``fast_step_slots(self, schema)``, ``vector_step(self, schema, cols)``
+with its compiled ``rule(store, active, patch)``) to seed parameter tags
+by name, then
 propagates tags through the straight-line assignments, loop targets and
 comprehension generators of each function scope.
 
@@ -38,6 +40,8 @@ class Tag:
     NBR_ROWS = "NBR_ROWS"    #: the (neighbor, register) pair sequence
     SCHEMA = "SCHEMA"        #: a StateSchema
     SINDEX = "SINDEX"        #: schema.index (name -> slot table)
+    COLS = "COLS"            #: a ColumnStore (the columnar state plane)
+    COLROWS = "COLROWS"      #: ColumnStore.rows (the aligned row list)
     LOCALDICT = "LOCALDICT"  #: a scratch dict owned by the rule
     SETVAL = "SETVAL"        #: an unordered set/frozenset value
     NODE = "NODE"            #: a node identity
@@ -69,6 +73,8 @@ PARAM_TAGS: dict[str, str] = {
     "nbr_rows": Tag.NBR_ROWS,
     "rows": Tag.NBR_ROWS,
     "schema": Tag.SCHEMA,
+    "cols": Tag.COLS,
+    "store": Tag.COLS,
     "node": Tag.NODE,
     "me": Tag.NODE,
     "intended": Tag.LOCALDICT,
@@ -147,12 +153,16 @@ class ScopeEnv:
             return Tag.SINDEX
         if base == Tag.ROW and node.attr == "row":
             return Tag.ROW  # SlotState.row: same register, raw plane
+        if base == Tag.COLS and node.attr == "rows":
+            return Tag.COLROWS  # the store's aligned slot rows
         return Tag.OTHER
 
     def _tag_subscript(self, node: ast.Subscript) -> str:
         base = self.tag(node.value)
         if base == Tag.CONFIG:
             return Tag.ROW
+        if base == Tag.COLROWS:
+            return Tag.ROW  # cols.rows[i]: one node's register row
         if base == Tag.SINDEX:
             key = node.slice
             if isinstance(key, ast.Constant) and isinstance(key.value, str):
@@ -200,6 +210,13 @@ class ScopeEnv:
                 for t, v in zip(target.elts, value.elts):
                     self.bind_target(t, self.tag(v), v)
                 return
+            slot_fields = self._slots_call_fields(value)
+            if slot_fields is not None and \
+                    len(slot_fields) == len(target.elts):
+                # RID, PAR, D = schema.slots("rid", "par", "d")
+                for t, field in zip(target.elts, slot_fields):
+                    self.bind_target(t, Tag.slot(field))
+                return
             if value_tag == Tag.NBR_ROWS and len(target.elts) == 2:
                 # for u, st in nbr_rows: ...
                 self.bind_target(target.elts[0], Tag.NODE)
@@ -207,6 +224,24 @@ class ScopeEnv:
                 return
             for t in target.elts:
                 self.bind_target(t, Tag.OTHER)
+
+    def _slots_call_fields(self, value: ast.AST | None
+                           ) -> Optional[list[str]]:
+        """The field names of a ``schema.slots("a", "b", ...)`` call, or
+        None when ``value`` is anything else (dynamic args included)."""
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "slots"
+                and not value.keywords
+                and self.tag(value.func.value) == Tag.SCHEMA):
+            return None
+        fields: list[str] = []
+        for arg in value.args:
+            if not (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)):
+                return None
+            fields.append(arg.value)
+        return fields
 
     def process_assignments(self, stmts: list[ast.AST]) -> None:
         """Seed bindings from the scope's assignments in source order."""

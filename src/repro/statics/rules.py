@@ -14,8 +14,9 @@ class; the registry at the bottom is what the analyzer runs):
   resolves slots only through ``StateSchema`` (no hard-coded slot ints).
 * **D (determinism)** — no ambient randomness or clocks, no iteration
   over unordered sets feeding a proposal.
-* **C (triple-path consistency)** — the literal read/write field sets of
-  ``step`` / ``fast_step`` / ``fast_step_slots`` agree field-for-field.
+* **C (path consistency)** — the literal read/write field sets of
+  ``step`` / ``fast_step`` / ``fast_step_slots`` / ``vector_step`` agree
+  field-for-field.
 """
 
 from __future__ import annotations
@@ -213,6 +214,10 @@ class WriteOwnershipRule(Rule):
 # S-series: schema coverage
 # ----------------------------------------------------------------------
 
+#: Rule paths that traffic in compiled slot indices (S002 applies).
+_SLOT_PATHS = frozenset({"fast_step_slots", "vector_step"})
+
+
 class SchemaCoverageRule(Rule):
     rule_id = "S001"
     series = "S"
@@ -258,7 +263,7 @@ class SchemaCoverageRule(Rule):
                     f"no such field in the compiled layout")]
         elif (isinstance(key, ast.Constant) and isinstance(key.value, int)
                 and not isinstance(key.value, bool)
-                and path.path == "fast_step_slots"
+                and path.path in _SLOT_PATHS
                 and base_tag == Tag.ROW):
             return [self.finding(
                 "S002", ctx, path, unit, node,
@@ -281,6 +286,15 @@ class SchemaCoverageRule(Rule):
                 "S001", ctx, path, unit, node,
                 f"schema.slot({key.value!r}) does not resolve — no such "
                 f"field in the compiled layout")]
+        if func.attr == "slots" and base_tag == Tag.SCHEMA:
+            return [self.finding(
+                "S001", ctx, path, unit, node,
+                f"schema.slots(... {arg.value!r} ...) does not resolve — "
+                f"no such field in the compiled layout")
+                for arg in node.args
+                if isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and self._unknown(ctx, arg.value)]
         if (func.attr == "get" and base_tag == Tag.ROW
                 and self._unknown(ctx, key.value)):
             # .get() is the sanctioned absence-tolerant accessor — a
@@ -301,7 +315,7 @@ class SchemaCoverageRule(Rule):
             elif (isinstance(key, ast.Constant)
                     and isinstance(key.value, int)
                     and not isinstance(key.value, bool)
-                    and path.path == "fast_step_slots"):
+                    and path.path in _SLOT_PATHS):
                 out.append(self.finding(
                     "S002", ctx, path, unit, key,
                     f"hard-coded slot index {key.value} as a delta key — "
@@ -381,8 +395,8 @@ class DeterminismRule(Rule):
 class PathConsistencyRule(Rule):
     rule_id = "C001"
     series = "C"
-    title = ("step / fast_step / fast_step_slots read and write the "
-             "same fields")
+    title = ("step / fast_step / fast_step_slots / vector_step read "
+             "and write the same fields")
 
     def check_layer(self, ctx: LayerContext, paths: list[RulePath],
                     scopes: dict[int, ScopeMap]) -> list[Finding]:
@@ -448,12 +462,24 @@ class PathConsistencyRule(Rule):
                         writes.add(field)
                 elif isinstance(node, ast.Call):
                     func = node.func
-                    if (isinstance(func, ast.Attribute)
-                            and func.attr == "get" and node.args
-                            and sm.tag(func.value) in (Tag.VIEW, Tag.ROW)):
+                    if not (isinstance(func, ast.Attribute) and node.args):
+                        continue
+                    base_tag = sm.tag(func.value)
+                    if (func.attr == "get"
+                            and base_tag in (Tag.VIEW, Tag.ROW)):
                         field = self._key_field(sm, node.args[0])
                         if field is not None:
                             reads.add(field)
+                    elif (func.attr in ("col", "valid_slot")
+                            and base_tag == Tag.COLS):
+                        # columnar reads: store.col(SLOT) materializes the
+                        # field's column; valid_slot guards the same
+                        # dependency (decline-to-scalar still *consumed*
+                        # the field)
+                        for arg in node.args:
+                            field = self._key_field(sm, arg)
+                            if field is not None:
+                                reads.add(field)
                 elif isinstance(node, ast.Dict) and owned:
                     for key in node.keys:
                         field = self._key_field(sm, key)

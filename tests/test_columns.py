@@ -1,0 +1,271 @@
+"""The columnar bulk-evaluation plane, pinned to the scalar planes.
+
+Three pillars, mirroring ``test_state_schema``'s structure one plane up:
+
+* **ColumnStore contract**: typed per-field ``int64`` columns encode the
+  slot rows strictly (exact ints in range, ``NONE`` via the reserved
+  sentinel, everything else invalidates the column), the CSR adjacency
+  mirrors the network, the aligned row references are zero-copy, and
+  engine writes drop :attr:`ColumnStore.fresh` so the next vector
+  refresh re-syncs.
+* **Backend equality**: the numpy backend and the stdlib ``array('q')``
+  fallback (the ``REPRO_NO_NUMPY`` CI gate) encode identical columns and
+  drive bit-identical executions.
+* **Column path ≡ slot path ≡ dict path, golden**: entire executions of
+  every vectorized protocol — ``sst``, its ``adhoc-bfs`` alias, and the
+  ``sst``+``cert-digest`` composition — produce bit-identical
+  ``(rounds, moves, final configuration)`` across the full daemon grid
+  whether the engine vectorizes all-dirty refreshes
+  (``use_vector_rules=True``), stays on the compiled slot rules, or is
+  forced onto the name-keyed fallback.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.baselines.dim_bfs import AdHocBFSProtocol
+from repro.certify.oracle import DigestLayer
+from repro.core.sst import SpanningTreeProtocol
+from repro.core.swap import MalleableTreeProtocol
+from repro.graphs import random_connected_graph
+from repro.runtime import (
+    ALL_SCHEDULER_FACTORIES,
+    NONE,
+    ComposedProtocol,
+    Simulator,
+    random_configuration,
+)
+from repro.runtime.columns import NONE_SENTINEL, ColumnStore, numpy_or_none
+
+#: every protocol family that compiles a vector rule
+VECTOR_PROTOCOLS = {
+    "sst": lambda: SpanningTreeProtocol(),
+    "adhoc-bfs": lambda: AdHocBFSProtocol(),
+    "sst+digest": lambda: ComposedProtocol(
+        [SpanningTreeProtocol(), DigestLayer(fields=("rid", "par", "d"))],
+        name="sst+digest"),
+}
+
+
+def _hash(config) -> str:
+    canon = repr(tuple(sorted((v, tuple(sorted(s.items())))
+                              for v, s in config.items())))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def _sst_sim(n=10, seed=3, cfg_seed=5, **kw) -> Simulator:
+    net = random_connected_graph(n, seed=seed)
+    proto = SpanningTreeProtocol()
+    return Simulator(net, proto,
+                     config=random_configuration(net, proto, seed=cfg_seed),
+                     **kw)
+
+
+class TestColumnStoreContract:
+    def test_engine_builds_the_store_only_when_vectorizable(self):
+        sim = _sst_sim()
+        assert sim._columns is not None and sim._vector_rule is not None
+        # the testing escape hatch forces the scalar paths
+        off = _sst_sim(use_vector_rules=False)
+        assert off._columns is None and off._vector_rule is None
+        # no vector_step -> no store at all
+        net = random_connected_graph(8, seed=2)
+        plain = Simulator(net, MalleableTreeProtocol())
+        assert plain._columns is None and plain._vector_rule is None
+
+    def test_rows_are_zero_copy_aliases(self):
+        sim = _sst_sim()
+        store = sim._columns
+        for v in sim.net.nodes:
+            assert store.rows[store.pos[v]] is sim._state[v]
+
+    def test_csr_adjacency_mirrors_network(self):
+        sim = _sst_sim(n=12, seed=7)
+        net, store = sim.net, sim._columns
+        assert store.ids == sorted(net.nodes)
+        for i, v in enumerate(store.ids):
+            lo, hi = store.nbr_offsets[i], store.nbr_offsets[i + 1]
+            nbrs = net.neighbors(v)
+            assert tuple(store.nbr_ids[lo:hi]) == tuple(nbrs)
+            assert [store.ids[j] for j in store.nbr_index[lo:hi]] == list(nbrs)
+            assert set(store.owner_index[lo:hi]) in ({i}, set())
+        assert store.e == 2 * net.m
+        assert store.min_degree == min(len(net.neighbors(v))
+                                       for v in net.nodes)
+
+    def test_sync_round_trips_rows_and_none(self):
+        sim = _sst_sim()
+        store = sim._columns.sync()
+        schema = sim.schema
+        assert store.valid_slot(*range(schema.width))
+        for v in sim.net.nodes:
+            row = sim._state[v]
+            assert store.decode_row(v) == row
+            for name in schema.names:
+                assert store.value(v, schema.slot(name)) == row[
+                    schema.slot(name)]
+        # an arbitrary sst configuration contains NONE parents; they must
+        # have crossed the sentinel encoding, not leaked as raw ints
+        par = schema.slot("par")
+        nones = [v for v in sim.net.nodes if sim._state[v][par] is NONE]
+        assert nones
+        for v in nones:
+            assert int(store.col(par)[store.pos[v]]) == NONE_SENTINEL
+            assert store.value(v, par) is NONE
+
+    @pytest.mark.parametrize("junk", [
+        True,                 # bool: repr(True) != repr(1)
+        "garbage",            # non-int fault payload
+        2 ** 63,              # above int64
+        -(2 ** 63),           # the reserved sentinel itself
+        0.5,                  # non-int numeric
+    ])
+    def test_unencodable_values_invalidate_the_column(self, junk):
+        sim = _sst_sim()
+        victim = max(sim.net.nodes)
+        sim.overwrite(victim, {"d": junk})
+        store = sim._columns
+        assert not store.fresh  # the write staled the columns
+        store.sync()
+        d = sim.schema.slot("d")
+        assert not store.valid_slot(d)
+        assert store.valid_slot(sim.schema.slot("rid"))
+        with pytest.raises(ValueError):
+            store.decode_row(victim)
+
+    def test_extreme_but_legal_ints_encode(self):
+        sim = _sst_sim()
+        victim = max(sim.net.nodes)
+        sim.overwrite(victim, {"d": 2 ** 63 - 1})
+        store = sim._columns.sync()
+        d = sim.schema.slot("d")
+        assert store.valid_slot(d)
+        assert store.value(victim, d) == 2 ** 63 - 1
+
+    def test_engine_writes_drop_freshness(self):
+        sim = _sst_sim(scheduler=ALL_SCHEDULER_FACTORIES["central-random"](1))
+        sim._columns.sync()
+        assert sim._columns.fresh
+        sim.run_round()  # central daemon: scalar moves, columns untouched
+        assert not sim._columns.fresh
+
+    def test_commit_enabled_diffs_and_masks(self):
+        sim = _sst_sim()
+        store = sim._columns
+        ids = store.ids
+        old = [ids[1], ids[3]]
+        new = [ids[0], ids[3], ids[4]]
+        added, removed = store.commit_enabled(new, old)
+        assert added == [ids[0], ids[4]]
+        assert removed == [ids[1]]
+        want = {store.pos[v] for v in new}
+        assert {i for i in range(store.n) if store.enabled[i]} == want
+        added, removed = store.commit_enabled([], new)
+        assert (added, removed) == ([], new)
+        assert not any(store.enabled)
+
+    def test_explicit_backend_selection(self):
+        sim = _sst_sim()
+        arr = ColumnStore(sim.schema, sim.net, sim._state, backend="array")
+        assert arr.backend == "array" and arr.np is None
+        with pytest.raises(ValueError):
+            ColumnStore(sim.schema, sim.net, sim._state, backend="torch")
+
+
+class TestBackendEquality:
+    """numpy columns ≡ array('q') columns, cellwise and run-wise."""
+
+    def test_encoded_columns_match_cellwise(self):
+        if numpy_or_none() is None:
+            pytest.skip("numpy unavailable (or REPRO_NO_NUMPY set)")
+        sim = _sst_sim(n=14, seed=11, cfg_seed=13)
+        a = ColumnStore(sim.schema, sim.net, sim._state,
+                        backend="numpy").sync()
+        b = ColumnStore(sim.schema, sim.net, sim._state,
+                        backend="array").sync()
+        assert a.valid == b.valid
+        for s in range(sim.schema.width):
+            if a.valid[s]:
+                assert [int(x) for x in a.col(s)] == list(b.col(s))
+        for name in ("nbr_offsets", "nbr_index", "nbr_ids", "owner_index",
+                     "ids_arr"):
+            assert [int(x) for x in getattr(a, name)] == list(
+                getattr(b, name))
+
+    @pytest.mark.parametrize("proto_name", sorted(VECTOR_PROTOCOLS))
+    def test_full_run_bit_identity_across_backends(self, proto_name,
+                                                   monkeypatch):
+        if numpy_or_none() is None:
+            pytest.skip("numpy unavailable (or REPRO_NO_NUMPY set)")
+        net = random_connected_graph(10, seed=17)
+        outcomes = []
+        for disable in ("", "1"):
+            monkeypatch.setenv("REPRO_NO_NUMPY", disable)
+            proto = VECTOR_PROTOCOLS[proto_name]()
+            cfg = random_configuration(net, proto, seed=19)
+            sim = Simulator(net, proto, config=cfg)
+            assert sim._columns.backend == ("array" if disable else "numpy")
+            result = sim.run(max_rounds=50_000)
+            assert result.silent
+            outcomes.append((result.rounds, result.moves, _hash(sim.config)))
+        assert outcomes[0] == outcomes[1], (
+            f"{proto_name}: array('q') backend diverged from numpy")
+
+
+class TestColumnPathEqualsScalarPaths:
+    """Golden bit-identity over the protocol × daemon grid, three engines
+    deep: vectorized, slot-scalar, and the name-keyed fallback."""
+
+    @pytest.mark.parametrize("sched_name", sorted(ALL_SCHEDULER_FACTORIES))
+    @pytest.mark.parametrize("proto_name", sorted(VECTOR_PROTOCOLS))
+    def test_full_run_bit_identity(self, proto_name, sched_name):
+        net = random_connected_graph(10, seed=29)
+        outcomes = []
+        for vector, slots in ((True, True), (False, True), (False, False)):
+            proto = VECTOR_PROTOCOLS[proto_name]()
+            cfg = random_configuration(net, proto, seed=31)
+            sim = Simulator(net, proto,
+                            ALL_SCHEDULER_FACTORIES[sched_name](37),
+                            config=cfg, use_slot_rules=slots,
+                            use_vector_rules=vector)
+            assert (sim._vector_rule is not None) == vector
+            result = sim.run(max_rounds=50_000)
+            assert result.silent
+            outcomes.append((result.rounds, result.moves, _hash(sim.config)))
+        assert outcomes[0] == outcomes[1] == outcomes[2], (
+            f"{proto_name} under {sched_name}: the three engine planes "
+            f"diverged: {outcomes}")
+
+    def test_synchronous_rounds_actually_vectorize(self):
+        sim = _sst_sim(n=16, seed=41, cfg_seed=43)
+        calls = []
+        inner = sim._vector_rule
+
+        def counting(store, active, patch=None):
+            calls.append(1)
+            return inner(store, active, patch)
+
+        sim._vector_rule = counting
+        assert sim.run(max_rounds=1_000).silent
+        # every all-dirty refresh of a synchronous run goes columnar
+        assert len(calls) >= sim.rounds
+
+    @pytest.mark.parametrize("proto_name", sorted(VECTOR_PROTOCOLS))
+    @pytest.mark.parametrize("sched_name",
+                             ["central-random", "distributed-random"])
+    def test_incremental_state_matches_rescan(self, proto_name, sched_name):
+        """The write-path contracts riding this plane (settles_after_move,
+        fast_write_impact) must keep the incremental enabled set exactly
+        equal to a from-scratch rescan after every round."""
+        net = random_connected_graph(10, seed=47)
+        proto = VECTOR_PROTOCOLS[proto_name]()
+        sim = Simulator(net, proto,
+                        ALL_SCHEDULER_FACTORIES[sched_name](53),
+                        config=random_configuration(net, proto, seed=59))
+        rounds = 0
+        while sim.run_round() and rounds < 200:
+            rounds += 1
+            assert sim.enabled_nodes() == sim.rescan_enabled()
+        assert sim.is_silent()
+        assert not sim.enabled_nodes() and not sim.rescan_enabled()

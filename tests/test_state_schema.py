@@ -34,8 +34,11 @@ from repro.graphs import random_connected_graph
 from repro.runtime import (
     ALL_SCHEDULER_FACTORIES,
     NONE,
+    Protocol,
+    RegisterSpec,
     Simulator,
     SlotState,
+    counter_field,
     random_configuration,
 )
 
@@ -215,9 +218,44 @@ class TestDictPathEqualsSlotPath:
             f"{proto_name} under {sched_name}: slot path diverged from "
             f"the dict path")
 
-    def test_protocols_without_slot_rules_fall_back(self):
+    @pytest.mark.parametrize("sched_name", sorted(ALL_SCHEDULER_FACTORIES))
+    def test_compact_mst_slot_rule_bit_identity(self, sched_name):
+        """The non-silent baseline never reaches silence (and unfair
+        central daemons can even starve its rounds), so its golden
+        comparison pins a fixed *move*-budget prefix of the execution."""
         net = random_connected_graph(8, seed=21, weighted=True)
-        sim = Simulator(net, CompactNonSilentMST())
+        outcomes = []
+        for use_slots in (True, False):
+            proto = CompactNonSilentMST()
+            cfg = random_configuration(net, proto, seed=22)
+            sim = Simulator(net, proto,
+                            ALL_SCHEDULER_FACTORIES[sched_name](23),
+                            config=cfg, use_slot_rules=use_slots)
+            assert (sim._slot_rule is not None) == use_slots
+            moved = sim.run_steps(max_moves=256)
+            assert moved >= 256  # perpetual motion, by design
+            outcomes.append((sim.moves, _hash(sim.config)))
+        assert outcomes[0] == outcomes[1], (
+            f"compact-mst under {sched_name}: slot path diverged from "
+            f"the dict path")
+
+    def test_protocols_without_slot_rules_fall_back(self):
+        class DictOnlyUnison(Protocol):
+            """Implements only ``step`` — exercises the fallback plane."""
+
+            name = "dict-only-unison"
+
+            def register_spec(self, net):
+                return RegisterSpec([counter_field("tok", lambda n: 2)])
+
+            def step(self, view):
+                my = view["tok"]
+                if any(view.nbr(u)["tok"] < my for u in view.neighbors):
+                    return None
+                return {"tok": (my + 1) % 3}
+
+        net = random_connected_graph(8, seed=21, weighted=True)
+        sim = Simulator(net, DictOnlyUnison())
         assert sim._slot_rule is None  # default fast_step_slots → None
         sim.run_round()
         assert sim.enabled_nodes() == sim.rescan_enabled()
