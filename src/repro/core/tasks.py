@@ -645,6 +645,13 @@ class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
 
     phases = (WORK, SWAP)
 
+    #: the root's rule is 1-hop *given* the oracle memo, but the memo is
+    #: per-instance state fed by a whole-configuration thunk
+    #: (``tree_of_config``) — a shard-local subgraph cannot evaluate it,
+    #: so the guided constructions decline sharded execution until the
+    #: detector is fully local (ROADMAP item 5)
+    shardable = False
+
     def __init__(self, digest: DigestLayer) -> None:
         self._digest = digest
         self._oracle = CertifiedOracle()

@@ -29,6 +29,7 @@ __all__ = [
     "switch_ablation_detail",
     "boruvka_fragments_detail",
     "fr_subclass_detail",
+    "sharded_scale_detail",
 ]
 
 
@@ -289,6 +290,91 @@ def fr_subclass_detail(rng: random.Random, params: Mapping[str, object]):
 
 
 # ----------------------------------------------------------------------
+# EXP-SCALE: sharded large-n executions (ROADMAP item 2)
+# ----------------------------------------------------------------------
+
+def sharded_scale_detail(rng: random.Random,
+                         params: Mapping[str, object]):
+    """One shard-parallel synchronous execution at campaign scale.
+
+    Runs the partitioned engine (:mod:`repro.runtime.sharding`) on an
+    implicit (lazy) topology — the whole-network adjacency never
+    materializes in any process — and *streams* per-round metrics as
+    JSONL instead of materializing a trace.  The record keeps only the
+    aggregates plus per-shard peak RSS and the stream path; the stream
+    directory is ``REPRO_SCALE_STREAM_DIR`` (default
+    ``campaigns/streams``).
+
+    The injected ``rng`` is deliberately unused: sharded executions are
+    a pure function of ``(topology, protocol, shards, init_seed)`` —
+    the per-node initialization draws from keyed streams, nothing else
+    draws at all — which is exactly the property the equivalence suite
+    pins.
+    """
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.experiments.registry import build_protocol
+    from repro.runtime.sharding import ShardedSimulator, plan_partition
+    from repro.runtime.sharding.cli import build_topology_spec
+
+    topo_spec = str(params.get("topology", "implicit-grid:rows=100,cols=100"))
+    protocol = str(params.get("protocol", "sst"))
+    shards = int(params.get("shards", 4))
+    method = str(params.get("method", "bfs"))
+    init_seed = int(params.get("init_seed", 7))
+    rounds = int(params.get("rounds", 10_000))
+    require_silence = bool(int(params.get("require_silence", 1)))
+    processes = bool(int(params.get("processes", 1)))
+
+    topo = build_topology_spec(topo_spec)
+    plan = plan_partition(topo, shards, method=method)
+    stream_dir = Path(os.environ.get("REPRO_SCALE_STREAM_DIR",
+                                     "campaigns/streams"))
+    stream_dir.mkdir(parents=True, exist_ok=True)
+    stream_path = stream_dir / (
+        f"{protocol}-{plan.fingerprint}-k{shards}-s{init_seed}.jsonl")
+
+    streamed = 0
+    with open(stream_path, "w", encoding="utf-8") as fh:
+        def hook(round_no: int, moves: int, per_shard: list[int]) -> None:
+            nonlocal streamed
+            fh.write(json.dumps({"round": round_no, "moves": moves,
+                                 "per_shard": per_shard}) + "\n")
+            streamed += 1
+
+        sharded = ShardedSimulator(
+            topo, lambda: build_protocol(protocol)[0], plan,
+            init_seed=init_seed, processes=processes)
+        try:
+            result = sharded.run(max_rounds=rounds,
+                                 require_silence=require_silence,
+                                 round_hook=hook)
+        finally:
+            sharded.close()
+
+    metrics = {
+        "n": topo.n,
+        "shards": shards,
+        "method": method,
+        "plan_fingerprint": plan.fingerprint,
+        "cut_edges": plan.cut_edges,
+        "max_boundary": max(plan.boundary),
+        "rounds": result.rounds,
+        "moves": result.moves,
+        "silent": result.silent,
+        "config_digest": result.fingerprint,
+        # per-shard peak RSS is inherently run-volatile (like "timing");
+        # everything above is deterministic and re-run-stable
+        "peak_rss_kb": result.peak_rss_kb,
+        "stream": str(stream_path),
+        "stream_rounds": streamed,
+    }
+    return metrics, {}
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -307,6 +393,7 @@ ANALYSES: dict[str, Callable[..., dict[str, object]]] = {
     "switch-ablation": _metrics_only(switch_ablation_detail),
     "boruvka-fragments": _metrics_only(boruvka_fragments_detail),
     "fr-subclass": _metrics_only(fr_subclass_detail),
+    "sharded-scale": _metrics_only(sharded_scale_detail),
 }
 
 

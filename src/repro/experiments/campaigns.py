@@ -235,6 +235,37 @@ def structure(root_seed: int = 0) -> Campaign:
                     tuple(specs), root_seed)
 
 
+def scale(root_seed: int = 0) -> Campaign:
+    """ROADMAP item 2: the sharded n >= 10^5 tier (nightly, not smoke).
+
+    Every row is a ``sharded-scale`` analysis: the partitioned engine on
+    an implicit topology, one worker process per shard, per-round JSONL
+    metrics streamed (never a materialized trace), per-shard peak RSS in
+    the record.  Deliberately excluded from ``full``: these rows are
+    minutes each and belong to the nightly tier.
+    """
+    rows = [
+        # the acceptance row: an n = 10^5 SST campaign run to silence
+        ("implicit-grid:rows=250,cols=400", "sst", 4),
+        # a second 10^5-class shape with a short diameter (fast check
+        # that the tier is not grid-shaped by accident)
+        ("implicit-hypercube:dim=17", "sst", 8),
+    ]
+    specs = [
+        ExperimentSpec(
+            experiment="EXP-SCALE",
+            analysis="sharded-scale",
+            analysis_params=(("topology", topo), ("protocol", proto),
+                             ("shards", shards), ("method", "bfs"),
+                             ("init_seed", 7), ("rounds", 5000),
+                             ("require_silence", 1), ("processes", 1)),
+        )
+        for topo, proto, shards in rows
+    ]
+    return Campaign("scale", "sharded large-n tier (streamed metrics)",
+                    tuple(specs), root_seed)
+
+
 def full(root_seed: int = 0) -> Campaign:
     """Every campaign above, in one sweep."""
     parts = [schedulers, silence, bfs, mst, mdst, nca, structure, engine,
@@ -257,6 +288,7 @@ CAMPAIGNS: dict[str, Callable[..., Campaign]] = {
     "nca": nca,
     "structure": structure,
     "certification": certification,
+    "scale": scale,
     "full": full,
 }
 

@@ -159,6 +159,10 @@ def main(argv: list[str] | None = None) -> int:
     from repro.statics.cli import register_statics
     register_statics(sub)
 
+    # the sharded runtime registers `python -m repro shard`
+    from repro.runtime.sharding.cli import register_shard
+    register_shard(sub)
+
     campaign = sub.add_parser("campaign", help="declarative experiment sweeps")
     csub = campaign.add_subparsers(dest="subcommand", required=True)
 

@@ -1,0 +1,202 @@
+"""Implicit (lazy) topologies for sharded large-n simulation.
+
+A :class:`Network` materializes every adjacency list eagerly — the right
+trade for the single-process engine, but at n = 10^5–10^6 the whole-graph
+heap is exactly what ROADMAP item 2 says must never exist.  An
+:class:`ImplicitTopology` describes a structured graph *by formula*: node
+identities are ``1..n``, ``neighbors(v)`` is computed on demand, and the
+only O(n) allocations ever made are the per-shard subgraphs cut out by
+:func:`shard_network` (owned nodes + their 1-hop halo).
+
+Implicit topologies deliberately mirror the :class:`Network` read surface
+that the partitioner and the sharding runtime need — ``nodes`` (an
+iterator here), ``n``, ``neighbors``, ``id_space``, ``n_bound`` — so both
+accept either form.  ``materialize()`` builds the equivalent eager
+:class:`Network` for small-n equivalence tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.graphs.network import Network
+
+__all__ = ["ImplicitTopology", "IMPLICIT_TOPOLOGIES", "implicit_ring",
+           "implicit_grid", "implicit_hypercube", "build_topology",
+           "shard_network"]
+
+
+class ImplicitTopology:
+    """A structured graph defined by a neighbor formula over ids ``1..n``.
+
+    Identities are the contiguous range ``1..n`` (no scrambling: at the
+    scale this class exists for, the id permutation itself would be the
+    O(n) heap we are avoiding).  ``id_space`` defaults to ``n**2``,
+    matching the paper's ``n^c`` with ``c = 2``, and ``n_bound`` to ``n``
+    — the same constants an eager generator would bake in.
+    """
+
+    __slots__ = ("kind", "params", "_n", "_nbrs", "_id_space", "_n_bound")
+
+    def __init__(self, kind: str, params: dict[str, int], n: int,
+                 nbrs: Callable[[int], tuple[int, ...]],
+                 id_space: int | None = None,
+                 n_bound: int | None = None) -> None:
+        if n < 1:
+            raise ValueError("implicit topology needs at least one node")
+        self.kind = kind
+        self.params = dict(params)
+        self._n = n
+        self._nbrs = nbrs
+        self._id_space = id_space if id_space is not None else n * n
+        self._n_bound = n_bound if n_bound is not None else n
+
+    # -- the Network-compatible read surface ---------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def nodes(self) -> Iterator[int]:
+        """All identities ``1..n`` — an iterator, never a materialized list."""
+        return iter(range(1, self._n + 1))
+
+    @property
+    def id_space(self) -> int:
+        return self._id_space
+
+    @property
+    def n_bound(self) -> int:
+        return self._n_bound
+
+    @property
+    def weighted(self) -> bool:
+        return False
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted neighbor identities of ``v``, computed on demand."""
+        return self._nbrs(v)
+
+    def degree(self, v: int) -> int:
+        return len(self._nbrs(v))
+
+    @property
+    def m(self) -> int:
+        """Edge count, by the handshake sum (O(n) time, O(1) space)."""
+        return sum(len(self._nbrs(v)) for v in self.nodes) // 2
+
+    def materialize(self) -> Network:
+        """The equivalent eager :class:`Network` (small n only)."""
+        edges = [(v, u) for v in self.nodes for u in self._nbrs(v) if v < u]
+        return Network(range(1, self._n + 1), edges,
+                       id_space=self._id_space, n_bound=self._n_bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"ImplicitTopology({self.kind}:{args}, n={self._n})"
+
+
+def implicit_ring(n: int) -> ImplicitTopology:
+    """The cycle C_n over ids ``1..n``."""
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+
+    def nbrs(v: int, _n: int = n) -> tuple[int, ...]:
+        prev = _n if v == 1 else v - 1
+        nxt = 1 if v == _n else v + 1
+        return (prev, nxt) if prev < nxt else (nxt, prev)
+
+    return ImplicitTopology("ring", {"n": n}, n, nbrs)
+
+
+def implicit_grid(rows: int, cols: int) -> ImplicitTopology:
+    """The rows x cols grid, row-major ids ``1..rows*cols``."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least two nodes")
+
+    def nbrs(v: int, _r: int = rows, _c: int = cols) -> tuple[int, ...]:
+        i, j = divmod(v - 1, _c)
+        out = []
+        if i > 0:
+            out.append(v - _c)
+        if j > 0:
+            out.append(v - 1)
+        if j < _c - 1:
+            out.append(v + 1)
+        if i < _r - 1:
+            out.append(v + _c)
+        return tuple(out)
+
+    return ImplicitTopology("grid", {"rows": rows, "cols": cols},
+                            rows * cols, nbrs)
+
+
+def implicit_hypercube(dim: int) -> ImplicitTopology:
+    """The dim-dimensional hypercube over ids ``1..2**dim``."""
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+
+    def nbrs(v: int, _dim: int = dim) -> tuple[int, ...]:
+        return tuple(sorted(((v - 1) ^ (1 << b)) + 1 for b in range(_dim)))
+
+    return ImplicitTopology("hypercube", {"dim": dim}, n, nbrs)
+
+
+#: name -> builder, mirroring ``repro.experiments.registry.TOPOLOGIES``
+#: for the lazy family.  Campaign/bench specs address these as
+#: ``implicit-<kind>`` to make the no-whole-heap contract explicit.
+IMPLICIT_TOPOLOGIES: dict[str, Callable[..., ImplicitTopology]] = {
+    "implicit-ring": implicit_ring,
+    "implicit-grid": implicit_grid,
+    "implicit-hypercube": implicit_hypercube,
+}
+
+
+def build_topology(name: str, params: dict[str, int]) -> ImplicitTopology:
+    """Build a registered implicit topology from name + keyword params."""
+    try:
+        builder = IMPLICIT_TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown implicit topology {name!r}; "
+            f"known: {sorted(IMPLICIT_TOPOLOGIES)}") from None
+    try:
+        return builder(**params)
+    except TypeError as exc:
+        # missing/unexpected keywords surface as spec errors, not
+        # call-signature tracebacks (the CLI catches ValueError)
+        raise ValueError(f"{name}: {exc}") from None
+
+
+def shard_network(topo, owned: tuple[int, ...]) -> tuple[Network, tuple[int, ...]]:
+    """Cut the shard-local subgraph around ``owned`` out of ``topo``.
+
+    ``topo`` is either a :class:`Network` or an :class:`ImplicitTopology`.
+    The result contains the owned nodes, their 1-hop halo, and every edge
+    incident to an owned node (halo-halo edges are dropped: a halo node's
+    register is only ever *read* by owned rules, never evaluated for its
+    own transition).  The subgraph keeps the **global** ``id_space`` and
+    ``n_bound`` and skips the connectivity check — a shard's cut may be
+    disconnected even when the global graph is not.
+
+    Returns ``(net, halo)`` with ``halo`` sorted ascending.
+    """
+    owned_set = frozenset(owned)
+    halo_set: set[int] = set()
+    edges: list[tuple[int, int]] = []
+    for v in owned:
+        for u in topo.neighbors(v):
+            edges.append((v, u))
+            if u not in owned_set:
+                halo_set.add(u)
+    halo = tuple(sorted(halo_set))
+    weights = None
+    if topo.weighted:
+        from repro.graphs.network import UWEdge
+        weights = {UWEdge(v, u): topo.weight(v, u) for v, u in edges}
+    net = Network(tuple(owned) + halo, edges, weights=weights,
+                  id_space=topo.id_space, n_bound=topo.n_bound,
+                  check_connected=False)
+    return net, halo

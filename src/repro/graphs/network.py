@@ -49,6 +49,12 @@ class Network:
         Public upper bound N >= n on the network size, known to every node
         (used to bound distance/size counters; the classical assumption for
         flushing fake roots).  Defaults to ``n``.
+    check_connected:
+        When True (the default) the constructor rejects disconnected
+        graphs, per the paper's model.  Shard-local subgraphs (a shard's
+        owned nodes plus their 1-hop halo) may legitimately be
+        disconnected; the sharding runtime passes False and carries the
+        *global* ``id_space``/``n_bound`` so rule semantics are unchanged.
     """
 
     __slots__ = (
@@ -69,6 +75,7 @@ class Network:
         weights: Mapping[tuple[int, int], int] | None = None,
         id_space: int | None = None,
         n_bound: int | None = None,
+        check_connected: bool = True,
     ) -> None:
         self._nodes: tuple[int, ...] = tuple(sorted(node_ids))
         if len(set(self._nodes)) != len(self._nodes):
@@ -117,7 +124,10 @@ class Network:
         if self._n_bound < n:
             raise ValueError(f"n_bound {self._n_bound} smaller than n = {n}")
 
-        self._check_connected()
+        if not self._nodes:
+            raise ValueError("network must have at least one node")
+        if check_connected:
+            self._check_connected()
 
     # ------------------------------------------------------------------
     # basic accessors

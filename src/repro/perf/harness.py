@@ -57,6 +57,45 @@ def _peak_rss_kb() -> int | None:
     return int(peak)
 
 
+def _sharded_execution(
+        workload: Workload) -> tuple[float, int, int, bool, int, int]:
+    """One budgeted execution on the partitioned engine.
+
+    ``workload.shards`` worker processes each own one shard of the
+    topology; the clock covers only the lock-step round loop (worker
+    spawn and the initial boundary exchange are construction, excluded
+    like topology/init construction on the unsharded path).
+    """
+    from repro.graphs.implicit import IMPLICIT_TOPOLOGIES, build_topology
+    from repro.runtime.sharding import ShardedSimulator, plan_partition
+
+    if workload.topology in IMPLICIT_TOPOLOGIES:
+        topo = build_topology(workload.topology, workload.topo)
+    else:
+        topo = build_network(workload.topology, workload.topo,
+                             random.Random(0))
+    plan = plan_partition(topo, workload.shards)
+    protocol_name = workload.protocol
+
+    def factory():
+        return build_protocol(protocol_name)[0]
+
+    seed = workload.init_args.get("seed", 0)
+    assert isinstance(seed, int)
+    sharded = ShardedSimulator(topo, factory, plan, init_seed=seed,
+                               processes=True)
+    try:
+        t0 = time.perf_counter()
+        result = sharded.run(
+            max_rounds=workload.round_budget or sys.maxsize,
+            require_silence=workload.round_budget == 0)
+        seconds = time.perf_counter() - t0
+    finally:
+        sharded.close()
+    return (seconds, result.moves, result.rounds, result.silent,
+            topo.n, topo.m)
+
+
 def _one_execution(
         workload: Workload) -> tuple[float, int, int, bool, int, int]:
     """Build everything fresh and run one budgeted execution.
@@ -64,6 +103,8 @@ def _one_execution(
     Returns ``(seconds, moves, rounds, silent, n, m)`` with the clock
     covering only the round loop.
     """
+    if workload.shards > 0:
+        return _sharded_execution(workload)
     net = build_network(workload.topology, workload.topo, random.Random(0))
     proto, _ = build_protocol(workload.protocol)
     config, _ = build_config(workload.init, net, proto, random.Random(1),

@@ -23,6 +23,11 @@ The registry covers:
   ``sst-8192`` runs to silence (the acceptance discipline at 16x the
   size) and the ``guided-*-8192`` sweeps are budgeted — all
   single-warmth, sized so the full bench stays interactive;
+* the sharded tier (``shards > 0``), routed through the partitioned
+  engine (:mod:`repro.runtime.sharding`) with one worker process per
+  shard: ``sst-1m`` and ``guided-bfs-262144`` on implicit grids whose
+  adjacency never materializes whole, plus ``smoke-shard-sst-512`` so
+  the CI perf gate exercises partition + boundary exchange on every PR;
 * ``smoke-*`` variants of each family at n = 48 for the CI perf gate.
 
 Workloads resolve through the experiment registries
@@ -62,6 +67,12 @@ class Workload:
     #: heavy workloads (one long budgeted run) may skip the discarded
     #: warmup execution: the run itself is long enough to be warm
     warmup: bool = True
+    #: shards > 0 routes the workload through the partitioned engine
+    #: (:mod:`repro.runtime.sharding`) with one worker process per
+    #: shard; the sharded engine is synchronous-daemon only and uses
+    #: per-node keyed initialization (``init="per-node"``, seed from
+    #: ``init_params``), so those fields are validated together
+    shards: int = 0
     tags: tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -69,6 +80,21 @@ class Workload:
             raise ValueError(f"{self.name}: repeats must be >= 1")
         if self.round_budget < 0 or self.move_budget < 0:
             raise ValueError(f"{self.name}: budgets must be >= 0")
+        if self.shards < 0:
+            raise ValueError(f"{self.name}: shards must be >= 0")
+        if self.shards > 0:
+            if self.scheduler != "synchronous":
+                raise ValueError(
+                    f"{self.name}: sharded workloads require the "
+                    f"synchronous scheduler")
+            if self.init != "per-node":
+                raise ValueError(
+                    f"{self.name}: sharded workloads require "
+                    f"init='per-node'")
+            if self.move_budget:
+                raise ValueError(
+                    f"{self.name}: sharded workloads are round-budgeted "
+                    f"only (move_budget unsupported)")
 
     @property
     def topo(self) -> dict[str, object]:
@@ -190,6 +216,40 @@ def _build_registry() -> dict[str, Workload]:
             warmup=False,
             tags=("slow",),
         ),
+        # The sharded scale tier (repro.runtime.sharding): a million-node
+        # implicit grid partitioned over 8 worker processes — the
+        # whole-network adjacency never materializes in any one of them.
+        # Slow-tagged and tightly round-budgeted: each round moves the
+        # full node set, so 3 rounds is already millions of moves.
+        Workload(
+            name="sst-1m",
+            family="engine",
+            protocol="sst",
+            topology="implicit-grid",
+            topo_params=_params(rows=1000, cols=1000),
+            init="per-node",
+            init_params=_params(seed=7),
+            round_budget=3,
+            repeats=1,
+            warmup=False,
+            shards=8,
+            tags=("slow",),
+        ),
+        # The sharded smoke leg of the CI perf gate: 512 nodes over two
+        # worker processes, run to silence — partition, boundary
+        # exchange, and frontier reconciliation exercised on every PR.
+        Workload(
+            name="smoke-shard-sst-512",
+            family="engine",
+            protocol="sst",
+            topology="implicit-grid",
+            topo_params=_params(rows=16, cols=32),
+            init="per-node",
+            init_params=_params(seed=7),
+            repeats=2,
+            shards=2,
+            tags=("smoke",),
+        ),
     ]
     # BFS: the classical ad hoc construction (neighborhood reads) from an
     # adversarial arbitrary configuration; ghost-root flushing makes the
@@ -254,6 +314,15 @@ def _build_registry() -> dict[str, Workload]:
         init="arbitrary", init_params=_params(seed=4),
         round_budget=8, repeats=1, warmup=False,
         tags=("slow",)))
+    # the sharded guided-BFS scale tier: a quarter-million-node implicit
+    # grid over 8 worker processes, budgeted like its unsharded siblings
+    workloads.append(Workload(
+        name="guided-bfs-262144", family="guided-bfs",
+        protocol="guided-bfs", topology="implicit-grid",
+        topo_params=_params(rows=512, cols=512),
+        init="per-node", init_params=_params(seed=4),
+        round_budget=4, repeats=1, warmup=False,
+        shards=8, tags=("slow",)))
     for n, rounds in ((128, 32), (512, 32), (8192, 12)):
         workloads.append(Workload(
             name=f"guided-mst-{n}", family="guided-mst",

@@ -31,7 +31,7 @@ __all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
 #: overrides — one definition of "the rule surface" shared by the
 #: runtime, the analyzer, and the docs.
 RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots",
-                                     "vector_step")
+                                     "vector_step", "shard_step")
 
 
 def effective_delta(protocol: "Protocol",
@@ -257,6 +257,40 @@ class Protocol(ABC):
         """
         return None
 
+    #: Whether the rule surface is sound under partitioned (sharded)
+    #: execution: every entrypoint must be a pure function of the node's
+    #: closed 1-hop neighborhood *and nothing else* — no oracle consults,
+    #: no cross-instance memo state — because a shard evaluates it on a
+    #: subgraph where anything beyond the halo simply does not exist.
+    #: Protocols whose steps consult a global oracle (the PLS-guided
+    #: constructions) set this False; see ROADMAP item 5 for the plan to
+    #: make the detector fully local and win this flag back.
+    shardable: bool = True
+
+    def shard_step(self, schema):
+        """Compile the shard-local rule, or return ``None``.
+
+        The sharded runtime (``repro.runtime.sharding``) evaluates owned
+        nodes on a shard-local subgraph — owned nodes plus their 1-hop
+        halo, with halo registers refreshed from the owning shards at
+        every synchronous round edge.  That is sound exactly when the
+        rule surface reads nothing beyond the closed neighborhood, so
+        the default returns the compiled slot rule
+        (:meth:`fast_step_slots`, falling back to the
+        :func:`adapt_step_to_slots` bridge) when :attr:`shardable` holds
+        and :attr:`read_locality` is ``"neighborhood"``, and ``None`` —
+        declining sharded execution — otherwise.
+
+        A subclass overriding this with a hand-written shard rule must
+        keep the 1-hop footprint; ``repro.statics`` analyzes the
+        override (``shard_step`` is a :data:`RULE_ENTRYPOINTS` member
+        and a slot-indexed path for the S-series) and proves that
+        statically.
+        """
+        if not self.shardable or self.read_locality != "neighborhood":
+            return None
+        return self.fast_step_slots(schema) or adapt_step_to_slots(self, schema)
+
     #: Set to True when :meth:`step` (and :attr:`fast_step`) only ever
     #: return *effective* writes — every returned field differs from the
     #: register's current value.  The engine then skips its per-proposal
@@ -352,6 +386,7 @@ class Protocol(ABC):
             "class": f"{cls.__module__}.{cls.__qualname__}",
             "read_locality": self.read_locality,
             "exact_deltas": self.exact_deltas,
+            "shardable": self.shardable,
             "entrypoints": entrypoints,
             "layers": None,
         }
@@ -387,6 +422,8 @@ class ComposedProtocol(Protocol):
         self.read_locality = (
             "global" if any(l.read_locality == "global" for l in layers)
             else "neighborhood")
+        # one unshardable layer makes the whole atomic step unshardable
+        self.shardable = all(l.shardable for l in layers)
 
     def register_spec(self, net: Network) -> RegisterSpec:
         spec = self.layers[0].register_spec(net)

@@ -1,0 +1,36 @@
+"""Partitioned shard-parallel execution of the synchronous daemon.
+
+See :mod:`repro.runtime.sharding.engine` for the round protocol and the
+equivalence argument, :mod:`repro.runtime.sharding.partition` for the
+partitioners, and ``python -m repro shard --help`` for the CLI.
+"""
+
+from repro.runtime.sharding.engine import (
+    ShardCrashError,
+    ShardedSimulator,
+    ShardRunResult,
+    ShardWorker,
+    config_fingerprint,
+    per_node_configuration,
+    simulator_fingerprint,
+    single_process_reference,
+)
+from repro.runtime.sharding.partition import (
+    PARTITION_METHODS,
+    ShardPlan,
+    plan_partition,
+)
+
+__all__ = [
+    "PARTITION_METHODS",
+    "ShardCrashError",
+    "ShardPlan",
+    "ShardRunResult",
+    "ShardWorker",
+    "ShardedSimulator",
+    "config_fingerprint",
+    "per_node_configuration",
+    "plan_partition",
+    "simulator_fingerprint",
+    "single_process_reference",
+]

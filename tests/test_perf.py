@@ -85,6 +85,7 @@ class TestWorkloadRegistry:
         full = select_workloads()
         assert {w.name for w in smoke} == {
             "acceptance-sst-512",
+            "smoke-shard-sst-512",
             "smoke-bfs-48",
             "smoke-mst-48",
             "smoke-mdst-48",

@@ -1,0 +1,342 @@
+"""Tests for the partitioned shard-parallel runtime (repro.runtime.sharding).
+
+Covers the contract of the sharding PR:
+
+* partition planning — coverage, balance, cut counting, JSON round-trip,
+  fingerprint stability, both methods;
+* the implicit (lazy) topology family and shard-local subnetwork cuts;
+* the equivalence theorem in executable form: sharded execution is
+  bit-identical to the single-process engine — same moves, rounds,
+  silence, and final-configuration digest — at shard counts {1, 2, 4, 8},
+  in-process and with one worker process per shard, at every round edge,
+  and in both initialization modes (per-node seeds and a full global
+  configuration);
+* loud failure when a worker process dies mid-run (shard id + round
+  number in the exception);
+* rejection of protocols whose reads cannot be sharded;
+* the ``python -m repro shard`` CLI (plan persistence, verify gate) and
+  the sharded perf workloads.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import build_config, build_network, build_protocol
+from repro.graphs.implicit import (
+    build_topology,
+    implicit_grid,
+    implicit_hypercube,
+    implicit_ring,
+    shard_network,
+)
+from repro.perf.workloads import WORKLOADS, Workload, select_workloads
+from repro.runtime.scheduler import SynchronousScheduler
+from repro.runtime.sharding import (
+    ShardCrashError,
+    ShardPlan,
+    ShardedSimulator,
+    per_node_configuration,
+    plan_partition,
+    simulator_fingerprint,
+    single_process_reference,
+)
+from repro.runtime.sharding.engine import _FP_MOD
+from repro.runtime.simulator import Simulator
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return env
+
+
+def _factory(name):
+    def make():
+        return build_protocol(name)[0]
+    return make
+
+
+def _random_net(n=64, seed=11, **extra):
+    return build_network("random", {"n": n, "seed": seed, **extra},
+                         random.Random(0))
+
+
+# ----------------------------------------------------------------------
+# partition planning
+# ----------------------------------------------------------------------
+
+def test_plan_covers_every_node_exactly_once():
+    topo = implicit_grid(8, 8)
+    plan = plan_partition(topo, 4)
+    owner = plan.owner_of()
+    assert sorted(owner) == sorted(topo.nodes)
+    assert sum(len(s) for s in plan.shards) == topo.n
+    sizes = [len(s) for s in plan.shards]
+    assert max(sizes) - min(sizes) <= 1
+    assert plan.balance >= 1.0
+    assert plan.cut_edges > 0
+    # per-shard boundary widths: every shard of a connected grid has a
+    # frontier, and no frontier can exceed the shard itself
+    assert len(plan.boundary) == plan.k
+    assert all(0 < b <= size for b, size in zip(plan.boundary, sizes))
+
+
+def test_single_shard_plan_has_no_cut():
+    topo = implicit_ring(12)
+    plan = plan_partition(topo, 1)
+    assert plan.k == 1
+    assert plan.cut_edges == 0
+    assert all(b == 0 for b in plan.boundary)
+
+
+def test_plan_json_roundtrip_and_fingerprint_stability():
+    topo = implicit_grid(6, 7)
+    plan = plan_partition(topo, 3)
+    again = ShardPlan.from_json(plan.to_json())
+    assert again == plan
+    assert again.fingerprint == plan.fingerprint
+    # the fingerprint is a pure function of the node assignment
+    assert plan_partition(topo, 3).fingerprint == plan.fingerprint
+
+
+def test_both_partition_methods_are_valid():
+    topo = implicit_grid(5, 8)
+    for method in ("bfs", "stripes"):
+        plan = plan_partition(topo, 4, method=method)
+        assert plan.method == method
+        assert sorted(plan.owner_of()) == sorted(topo.nodes)
+
+
+def test_plan_partition_works_on_materialized_networks():
+    net = _random_net(48, seed=17)
+    plan = plan_partition(net, 3)
+    assert sorted(plan.owner_of()) == sorted(net.nodes)
+
+
+# ----------------------------------------------------------------------
+# implicit topologies
+# ----------------------------------------------------------------------
+
+def test_implicit_ring_neighbors_and_materialize():
+    topo = implicit_ring(6)
+    assert topo.n == 6
+    assert set(topo.neighbors(1)) == {2, 6}
+    net = topo.materialize()
+    assert net.n == 6 and net.m == topo.m == 6
+    for v in topo.nodes:
+        assert set(net.neighbors(v)) == set(topo.neighbors(v))
+
+
+def test_implicit_grid_and_hypercube_degrees():
+    grid = implicit_grid(4, 5)
+    assert grid.n == 20
+    corner_deg = len(list(grid.neighbors(1)))
+    assert corner_deg == 2
+    cube = implicit_hypercube(3)
+    assert cube.n == 8
+    assert all(len(list(cube.neighbors(v))) == 3 for v in cube.nodes)
+    assert cube.m == 12
+
+
+def test_build_topology_by_name():
+    topo = build_topology("implicit-grid", {"rows": 3, "cols": 4})
+    assert topo.n == 12
+    with pytest.raises(ValueError):
+        build_topology("implicit-grid", {"rows": 3})
+
+
+def test_shard_network_keeps_global_id_space():
+    topo = implicit_grid(4, 4)
+    plan = plan_partition(topo, 2)
+    owned = plan.shards[0]
+    net, halo = shard_network(topo, owned)
+    assert set(owned) <= set(net.nodes)
+    assert set(halo) == set(net.nodes) - set(owned)
+    # identifier bounds stay global: rules that compare against
+    # id_space / n_bound must behave exactly as on the whole network
+    assert net.id_space == topo.id_space
+    assert net.n_bound == topo.n_bound
+    # every halo node really neighbors some owned node
+    owned_set = set(owned)
+    for h in halo:
+        assert any(u in owned_set for u in net.neighbors(h))
+
+
+# ----------------------------------------------------------------------
+# equivalence: sharded == single-process, bit for bit
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("proto", ["sst", "adhoc-bfs"])
+def test_equivalence_across_shard_counts(proto):
+    net = _random_net(64, seed=11)
+    factory = _factory(proto)
+    ref = single_process_reference(net, factory, init_seed=3)
+    for k in (1, 2, 4, 8):
+        sharded = ShardedSimulator(net, factory, k, init_seed=3)
+        res = sharded.run(max_rounds=10_000)
+        sharded.close()
+        assert (res.rounds, res.moves, res.silent, res.fingerprint) == ref, \
+            f"{proto} diverged at k={k}"
+
+
+def test_equivalence_guided_bfs_on_implicit_grid():
+    topo = implicit_grid(6, 8)
+    factory = _factory("guided-bfs")
+    ref = single_process_reference(topo, factory, init_seed=5)
+    sharded = ShardedSimulator(topo, factory, 4, init_seed=5)
+    res = sharded.run(max_rounds=10_000)
+    sharded.close()
+    assert (res.rounds, res.moves, res.silent, res.fingerprint) == ref
+
+
+def test_equivalence_with_worker_processes():
+    net = _random_net(96, seed=23)
+    factory = _factory("sst")
+    ref = single_process_reference(net, factory, init_seed=7)
+    with ShardedSimulator(net, factory, 2, init_seed=7,
+                          processes=True) as sharded:
+        res = sharded.run(max_rounds=10_000)
+    assert (res.rounds, res.moves, res.silent, res.fingerprint) == ref
+    assert len(res.peak_rss_kb) == 2 and all(r > 0 for r in res.peak_rss_kb)
+    assert sum(res.shard_moves) == res.moves
+
+
+def test_equivalence_at_every_round_edge():
+    """The configurations agree after *each* round, not only at the end."""
+    net = _random_net(48, seed=31)
+    protocol = build_protocol("sst")[0]
+    spec = protocol.register_spec(net)
+    config = per_node_configuration(net, spec, 9)
+    sim = Simulator(net, protocol, SynchronousScheduler(), config=config)
+    sharded = ShardedSimulator(net, _factory("sst"), 4, init_seed=9)
+    for _ in range(10_000):
+        moved_ref = sim.run_round()
+        moved_sharded = sharded.run_round()
+        assert bool(moved_sharded) == bool(moved_ref)
+        assert sharded.fingerprint() == \
+            f"{simulator_fingerprint(sim) % _FP_MOD:032x}"
+        if not moved_ref:
+            break
+    assert sim.is_silent() and sharded.is_silent()
+    sharded.close()
+
+
+def test_equivalence_with_global_configuration():
+    """The ``config=`` mode: workers slice a full name-keyed config."""
+    net = _random_net(48, seed=17)
+    protocol = build_protocol("sst")[0]
+    config, _ = build_config("arbitrary", net, protocol,
+                             random.Random(1), {"seed": 7})
+    factory = _factory("sst")
+    ref = single_process_reference(net, factory, config=config)
+    sharded = ShardedSimulator(net, factory, 3, config=config)
+    res = sharded.run(max_rounds=10_000)
+    sharded.close()
+    assert (res.rounds, res.moves, res.silent, res.fingerprint) == ref
+
+
+def test_collect_config_matches_reference():
+    net = _random_net(32, seed=41)
+    factory = _factory("sst")
+    protocol = build_protocol("sst")[0]
+    spec = protocol.register_spec(net)
+    config = per_node_configuration(net, spec, 2)
+    sim = Simulator(net, protocol, SynchronousScheduler(), config=config)
+    while sim.run_round():
+        pass
+    sharded = ShardedSimulator(net, factory, 2, init_seed=2)
+    sharded.run(max_rounds=10_000)
+    merged = sharded.collect_config()
+    sharded.close()
+    assert set(merged) == set(net.nodes)
+    names = sim.schema.names
+    for v in net.nodes:
+        assert merged[v] == dict(zip(names, sim._state[v]))
+
+
+# ----------------------------------------------------------------------
+# failure modes
+# ----------------------------------------------------------------------
+
+def test_unshardable_protocol_is_rejected():
+    net = _random_net(32, seed=12, weighted=True)
+    with pytest.raises(ValueError, match="declines sharded execution"):
+        ShardedSimulator(net, _factory("guided-mst"), 2, init_seed=1)
+
+
+def test_worker_crash_fails_loudly_with_shard_and_round():
+    topo = implicit_grid(8, 16)
+    sharded = ShardedSimulator(topo, _factory("sst"), 2, init_seed=7,
+                               processes=True)
+    try:
+        assert sharded.run_round() > 0
+        assert sharded.run_round() > 0
+        victim = sharded._procs[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        deadline = time.monotonic() + 10
+        with pytest.raises(ShardCrashError) as excinfo:
+            while time.monotonic() < deadline:
+                sharded.run_round()
+        err = excinfo.value
+        assert err.shard_id == 1
+        assert err.round_no == 3
+        assert "shard 1" in str(err) and "round 3" in str(err)
+    finally:
+        sharded.terminate()
+
+
+# ----------------------------------------------------------------------
+# the CLI and the perf workloads
+# ----------------------------------------------------------------------
+
+def test_cli_plan_persists_a_loadable_plan(tmp_path):
+    out = tmp_path / "plan.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "shard", "plan",
+         "implicit-grid:rows=8,cols=8", "2", "--out", str(out)],
+        capture_output=True, text=True, env=_env())
+    assert proc.returncode == 0, proc.stderr
+    assert "fingerprint" in proc.stdout
+    plan = ShardPlan.from_json(out.read_text())
+    assert plan.n == 64 and plan.k == 2
+    assert plan == plan_partition(implicit_grid(8, 8), 2)
+
+
+def test_cli_verify_passes_on_small_workload(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "shard", "verify",
+         "--topology", "random:n=48,seed=17", "--shards", "1,2",
+         "--protocol", "sst", "--in-process"],
+        capture_output=True, text=True, env=_env())
+    assert proc.returncode == 0, proc.stderr
+    assert "bit-identical" in proc.stdout
+
+
+def test_sharded_workloads_are_registered():
+    assert WORKLOADS["sst-1m"].shards == 8
+    assert WORKLOADS["guided-bfs-262144"].shards == 8
+    smoke = {w.name for w in select_workloads(smoke=True)}
+    assert "smoke-shard-sst-512" in smoke
+
+
+def test_sharded_workload_validation():
+    base = dict(family="engine", protocol="sst", topology="implicit-grid",
+                topo_params=(("cols", 8), ("rows", 8)),
+                init="per-node", init_params=(("seed", 1),), shards=2)
+    Workload(name="ok", **base)
+    with pytest.raises(ValueError, match="synchronous"):
+        Workload(name="bad-sched", **{**base, "scheduler": "central-random"})
+    with pytest.raises(ValueError, match="per-node"):
+        Workload(name="bad-init", **{**base, "init": "arbitrary"})
+    with pytest.raises(ValueError, match="round-budgeted"):
+        Workload(name="bad-budget", **{**base, "move_budget": 10})
