@@ -11,6 +11,7 @@ only through verified Section IV switches).
 """
 
 from repro.core.sst import SpanningTreeProtocol
+from repro.graphs.network import Network
 
 __all__ = ["AdHocBFSProtocol"]
 
@@ -19,3 +20,21 @@ class AdHocBFSProtocol(SpanningTreeProtocol):
     """The classic baseline under its benchmark name."""
 
     name = "adhoc-bfs"
+
+    def probe_potential(self, net: Network, config) -> int:
+        """BFS depth potential: the sum of claimed distances.
+
+        The BFS-flavored convergence measure for this baseline (the
+        related BFS-revised lines argue round complexity through exactly
+        this descent): once root claims settle, progress is the claimed
+        depths ``d`` contracting onto the true BFS distances.  Junk or
+        out-of-range depths contribute the bound ``n_bound`` — total on
+        arbitrary configurations.  Observer surface only; no rule reads
+        this.
+        """
+        bound = net.n_bound
+        total = 0
+        for v in net.nodes:
+            d = config[v]["d"]
+            total += d if (type(d) is int and 0 <= d < bound) else bound
+        return total

@@ -540,6 +540,33 @@ class SpanningTreeProtocol(Protocol):
 
         return rule
 
+    def probe_potential(self, net: Network, config) -> int:
+        """Packed-claim sum: the telemetry layer's convergence potential.
+
+        Every node contributes its claim packed into the comparison key
+        the columnar rule already uses — ``rid * n_bound + d`` — so the
+        sum strictly descends as nodes adopt smaller root claims and
+        ghost-root distances are flushed upward then dropped.  Junk
+        claims (non-int fields, values outside the packable range, as an
+        adversary may plant) contribute the cap ``id_space * n_bound``:
+        total on arbitrary configurations, and a fault can only raise
+        the potential, never lower it.  Observer surface only
+        (:data:`repro.runtime.protocol.OBS_ENTRYPOINTS`) — no rule reads
+        this.
+        """
+        bound = net.n_bound
+        cap = net.id_space * bound
+        total = 0
+        for v in net.nodes:
+            st = config[v]
+            rid, d = st["rid"], st["d"]
+            if (type(rid) is int and type(d) is int
+                    and 0 <= d < bound and 0 < rid * bound + d < cap):
+                total += rid * bound + d
+            else:
+                total += cap
+        return total
+
     def is_legal(self, net: Network, config) -> bool:
         """Legal: the min-identity BFS tree with exact distances."""
         root = net.min_id

@@ -299,11 +299,15 @@ def sharded_scale_detail(rng: random.Random,
 
     Runs the partitioned engine (:mod:`repro.runtime.sharding`) on an
     implicit (lazy) topology — the whole-network adjacency never
-    materializes in any process — and *streams* per-round metrics as
-    JSONL instead of materializing a trace.  The record keeps only the
-    aggregates plus per-shard peak RSS and the stream path; the stream
-    directory is ``REPRO_SCALE_STREAM_DIR`` (default
-    ``campaigns/streams``).
+    materializes in any process — and streams the run as a *unified
+    convergence trace* (the schema-versioned :mod:`repro.obs` JSONL,
+    one row per round with the per-shard breakdown; never a
+    materialized configuration trace).  The record keeps only the
+    aggregates plus per-shard peak RSS and the trace filename; the
+    trace directory is ``REPRO_SCALE_TRACE_DIR`` (default
+    ``campaigns/traces``).  This replaces the PR-8-era bespoke
+    ``campaigns/streams`` row format — same per-round content, but now
+    validated, self-describing, and renderable by ``repro obs report``.
 
     The injected ``rng`` is deliberately unused: sharded executions are
     a pure function of ``(topology, protocol, shards, init_seed)`` —
@@ -311,11 +315,11 @@ def sharded_scale_detail(rng: random.Random,
     draws at all — which is exactly the property the equivalence suite
     pins.
     """
-    import json
     import os
     from pathlib import Path
 
     from repro.experiments.registry import build_protocol
+    from repro.obs.probes import TraceRecorder
     from repro.runtime.sharding import ShardedSimulator, plan_partition
     from repro.runtime.sharding.cli import build_topology_spec
 
@@ -330,29 +334,23 @@ def sharded_scale_detail(rng: random.Random,
 
     topo = build_topology_spec(topo_spec)
     plan = plan_partition(topo, shards, method=method)
-    stream_dir = Path(os.environ.get("REPRO_SCALE_STREAM_DIR",
-                                     "campaigns/streams"))
-    stream_dir.mkdir(parents=True, exist_ok=True)
-    stream_path = stream_dir / (
+    trace_dir = Path(os.environ.get("REPRO_SCALE_TRACE_DIR",
+                                    "campaigns/traces"))
+    trace_name = (
         f"{protocol}-{plan.fingerprint}-k{shards}-s{init_seed}.jsonl")
+    recorder = TraceRecorder(
+        trace_dir / trace_name,
+        header_extra={"topology": topo_spec, "init_seed": init_seed})
 
-    streamed = 0
-    with open(stream_path, "w", encoding="utf-8") as fh:
-        def hook(round_no: int, moves: int, per_shard: list[int]) -> None:
-            nonlocal streamed
-            fh.write(json.dumps({"round": round_no, "moves": moves,
-                                 "per_shard": per_shard}) + "\n")
-            streamed += 1
-
-        sharded = ShardedSimulator(
-            topo, lambda: build_protocol(protocol)[0], plan,
-            init_seed=init_seed, processes=processes)
-        try:
-            result = sharded.run(max_rounds=rounds,
-                                 require_silence=require_silence,
-                                 round_hook=hook)
-        finally:
-            sharded.close()
+    sharded = ShardedSimulator(
+        topo, lambda: build_protocol(protocol)[0], plan,
+        init_seed=init_seed, processes=processes)
+    try:
+        result = sharded.run(max_rounds=rounds,
+                             require_silence=require_silence,
+                             recorder=recorder)
+    finally:
+        sharded.close()
 
     metrics = {
         "n": topo.n,
@@ -368,8 +366,10 @@ def sharded_scale_detail(rng: random.Random,
         # per-shard peak RSS is inherently run-volatile (like "timing");
         # everything above is deterministic and re-run-stable
         "peak_rss_kb": result.peak_rss_kb,
-        "stream": str(stream_path),
-        "stream_rounds": streamed,
+        # the filename only (deterministic): the directory is
+        # environment plumbing, like the store path
+        "trace": trace_name,
+        "trace_rounds": result.rounds,
     }
     return metrics, {}
 

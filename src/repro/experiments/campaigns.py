@@ -53,7 +53,11 @@ def smoke(root_seed: int = 0) -> Campaign:
     specs.append(ExperimentSpec(
         experiment="EXP-SMOKE", protocol="sst", topology="random",
         topo_params={"n": 8, "seed": 2}, scheduler="central-random",
-        init="arbitrary", replicate=1))
+        init="arbitrary", replicate=1,
+        # one traced row: the resume canary also exercises the
+        # convergence-trace plumbing (store-adjacent trace dir, probe
+        # columns incl. the certified flicker probe)
+        trace=1))
     return Campaign("smoke", "multi-protocol smoke grid", tuple(specs),
                     root_seed)
 

@@ -62,6 +62,20 @@ def _resolve_store(args: argparse.Namespace, campaign: Campaign) -> ResultStore:
     return ResultStore(path)
 
 
+def _trace_dir(store: ResultStore) -> str | None:
+    """Where ``trace=1`` specs persist traces: next to the JSONL store.
+
+    ``campaigns/smoke.jsonl`` gets ``campaigns/smoke.traces/`` — the
+    directory is derived, never configured, so a resumed campaign finds
+    its earlier traces where it left them.  In-memory stores have no
+    neighborhood to persist into.
+    """
+    if store.path is None:
+        return None
+    p = Path(store.path)
+    return str(p.with_name(p.stem + ".traces"))
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(CAMPAIGNS):
@@ -95,7 +109,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               flush=True)
 
     records = run_campaign(campaign, store=store, workers=args.workers,
-                           max_runs=args.max_runs, progress=progress)
+                           max_runs=args.max_runs, progress=progress,
+                           trace_dir=_trace_dir(store))
     executed = len(records) - cached
     print(f"campaign {campaign.name!r}: {executed} executed, "
           f"{cached} cached, {len(campaign) - len(records)} pending "
@@ -162,6 +177,10 @@ def main(argv: list[str] | None = None) -> int:
     # the sharded runtime registers `python -m repro shard`
     from repro.runtime.sharding.cli import register_shard
     register_shard(sub)
+
+    # the telemetry layer registers `python -m repro obs`
+    from repro.obs.cli import register_obs
+    register_obs(sub)
 
     campaign = sub.add_parser("campaign", help="declarative experiment sweeps")
     csub = campaign.add_subparsers(dest="subcommand", required=True)

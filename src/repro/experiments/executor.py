@@ -32,23 +32,24 @@ __all__ = ["run_campaign"]
 
 
 def _pool_worker_block(
-        task: tuple[list[dict[str, Any]], int],
+        task: tuple[list[dict[str, Any]], int, str | None],
 ) -> tuple[list[dict[str, Any]], BaseException | None]:
     """Top-level (picklable) pool entry point: one block of specs.
 
     Every record is still a pure function of ``(spec, root_seed)`` — the
     block boundary only batches dispatch, it never threads state from one
-    run into the next.  A failing run must not discard the block's
-    already-completed records (resume would repeat them), so the error is
-    returned alongside the partial results and re-raised by the parent
-    after it has stored them.
+    run into the next (``trace_dir`` is plumbing: trace files are keyed
+    by run fingerprint, so workers never collide).  A failing run must
+    not discard the block's already-completed records (resume would
+    repeat them), so the error is returned alongside the partial results
+    and re-raised by the parent after it has stored them.
     """
-    spec_dicts, root_seed = task
+    spec_dicts, root_seed, trace_dir = task
     records: list[dict[str, Any]] = []
     for d in spec_dicts:
         try:
             records.append(runner.run_spec(ExperimentSpec.from_dict(d),
-                                           root_seed))
+                                           root_seed, trace_dir=trace_dir))
         except BaseException as exc:  # re-raised by the parent
             return records, exc
     return records, None
@@ -85,6 +86,7 @@ def run_campaign(
     max_runs: int | None = None,
     progress: Callable[[int, int, dict[str, Any]], None] | None = None,
     chunk_size: int | None = None,
+    trace_dir: str | None = None,
 ) -> list[dict[str, Any]]:
     """Execute every not-yet-stored spec of ``campaign``.
 
@@ -95,6 +97,9 @@ def run_campaign(
     bound partial campaigns.  ``chunk_size`` pins the replicate-block
     length handed to each pool task (default: auto, see
     :func:`_block_size`); it never affects results, only dispatch cost.
+    ``trace_dir`` is where ``trace=1`` specs persist their convergence
+    traces (the campaign CLI derives it from the store path); records
+    are invariant to it.
     """
     store = store if store is not None else ResultStore(None)
     done = store.by_fingerprint()
@@ -119,7 +124,7 @@ def run_campaign(
         ctx = _pool_context()
         block = _block_size(total, workers, chunk_size)
         spec_dicts = [spec.to_dict() for spec, _ in todo]
-        tasks = [(spec_dicts[i:i + block], campaign.root_seed)
+        tasks = [(spec_dicts[i:i + block], campaign.root_seed, trace_dir)
                  for i in range(0, total, block)]
         with ctx.Pool(processes=min(workers, len(tasks))) as pool:
             # imap (not imap_unordered): store lines land in campaign
@@ -133,7 +138,8 @@ def run_campaign(
                     raise error
     else:
         for spec, _ in todo:
-            _store(runner.run_spec(spec, campaign.root_seed))
+            _store(runner.run_spec(spec, campaign.root_seed,
+                                   trace_dir=trace_dir))
 
     by_fp = store.by_fingerprint()
     return [by_fp[fp] for fp in campaign.fingerprints() if fp in by_fp]

@@ -12,6 +12,7 @@ resumed campaign.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Any
 
 from repro.experiments.analyses import run_analysis
@@ -60,7 +61,8 @@ def _certified(certifier_key: str, net, config) -> bool:
     return bool(cert.verify(net, decorated).accepted)
 
 
-def execute(spec: ExperimentSpec, root_seed: int = 0
+def execute(spec: ExperimentSpec, root_seed: int = 0,
+            trace_dir: str | Path | None = None
             ) -> tuple[dict[str, Any], dict[str, Any]]:
     """Run one spec; returns ``(record, context)``.
 
@@ -68,6 +70,13 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
     ``context`` holds live objects (network, simulator, start tree) for
     in-process callers — examples and benches that want to poke the final
     configuration; it never crosses a process boundary.
+
+    A spec with ``trace=1`` additionally captures the run's convergence
+    trace (repro.obs JSONL) under ``trace_dir`` as
+    ``trace-<fingerprint>.jsonl``.  The record stays a pure function of
+    ``(spec, root_seed)``: the metrics carry the *derived filename*
+    either way, and only the presence of ``trace_dir`` (campaign
+    plumbing, like the store path) decides whether the bytes land.
     """
     fp = spec.fingerprint(root_seed)
     base: dict[str, Any] = {
@@ -100,16 +109,41 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
                                    spec.init_args)
     scheduler = SCHEDULERS[spec.scheduler](
         derive_seed(root_seed, fp, "scheduler"))
+    recorder = None
+    trace_name = f"trace-{fp}.jsonl"
+    if spec.trace and trace_dir is not None:
+        from repro.obs.probes import TraceRecorder
+        live: dict[str, Any] = {}
+        extra_probes: dict[str, Any] = {}
+        if entry.certifier is not None:
+            # the locally_certified flicker probe: the 0/1 per-round
+            # column flicker counts are read from (see repro.obs)
+            cert_key = entry.certifier
+            extra_probes["certified"] = lambda: int(
+                _certified(cert_key, net, live["sim"].config))
+        recorder = TraceRecorder(
+            Path(trace_dir) / trace_name,
+            extra_probes=extra_probes,
+            header_extra={"fingerprint": fp,
+                          "experiment": spec.experiment})
     sim = Simulator(net, proto, scheduler, config=config,
-                    rng=spawn_rng(root_seed, fp, "faults"))
+                    rng=spawn_rng(root_seed, fp, "faults"),
+                    recorder=recorder)
+    if recorder is not None:
+        live["sim"] = sim
     max_rounds = spec.max_rounds or 20_000 * net.n
 
     run_t0 = time.perf_counter()
-    if spec.stop == "legal":
-        result = sim.run(max_rounds=max_rounds,
-                         stop_when=lambda nn, cfg: bool(proto.is_legal(nn, cfg)))
-    else:
-        result = sim.run(max_rounds=max_rounds)
+    try:
+        if spec.stop == "legal":
+            result = sim.run(max_rounds=max_rounds,
+                             stop_when=lambda nn, cfg: bool(proto.is_legal(nn, cfg)))
+        else:
+            result = sim.run(max_rounds=max_rounds)
+    except BaseException:
+        if recorder is not None:
+            recorder.abort()  # the trace ends torn — honestly
+        raise
     run_seconds = time.perf_counter() - run_t0
 
     metrics: dict[str, Any] = {"n": net.n, "m": net.m}
@@ -140,7 +174,12 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
         stab_rounds, stab_moves = sim.rounds, sim.moves
         victims = inject_random_faults(sim, spec.faults, seed=None)
         run_t0 = time.perf_counter()
-        recovery = sim.run(max_rounds=max_rounds)
+        try:
+            recovery = sim.run(max_rounds=max_rounds)
+        except BaseException:
+            if recorder is not None:
+                recorder.abort()
+            raise
         run_seconds += time.perf_counter() - run_t0
         metrics["fault_victims"] = sorted(victims)
         metrics["recovery_rounds"] = sim.rounds - stab_rounds
@@ -150,6 +189,14 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
         if entry.certifier is not None:
             metrics["recovered_locally_certified"] = _certified(
                 entry.certifier, net, sim.config)
+
+    if recorder is not None:
+        recorder.finalize(silent=sim.is_silent())
+    if spec.trace:
+        # the derived filename, recorded whether or not a campaign
+        # directory captured the bytes — keeps the record a pure
+        # function of (spec, root_seed)
+        metrics["trace"] = trace_name
 
     base["metrics"] = metrics
     # run_seconds: the simulator runs alone (throughput numbers divide by
@@ -162,7 +209,8 @@ def execute(spec: ExperimentSpec, root_seed: int = 0
     return base, context
 
 
-def run_spec(spec: ExperimentSpec, root_seed: int = 0) -> dict[str, Any]:
+def run_spec(spec: ExperimentSpec, root_seed: int = 0,
+             trace_dir: str | Path | None = None) -> dict[str, Any]:
     """The store-facing entry point: record only (picklable)."""
-    record, _ = execute(spec, root_seed)
+    record, _ = execute(spec, root_seed, trace_dir=trace_dir)
     return record

@@ -92,6 +92,11 @@ class ExperimentSpec:
     analysis: str = ""
     analysis_params: Params = ()
     skip: str = ""
+    #: 1 = persist this run's convergence trace (repro.obs JSONL) next
+    #: to the result store; the run record then carries the trace
+    #: filename.  Untraced specs serialize without this field, so every
+    #: pre-telemetry fingerprint — and store — is preserved verbatim.
+    trace: int = 0
 
     def __post_init__(self) -> None:
         for name in ("topo_params", "init_params", "analysis_params"):
@@ -152,6 +157,13 @@ class ExperimentSpec:
             value = getattr(self, f.name)
             if f.name.endswith("_params"):
                 value = _params_dict(value)
+            if f.name == "trace" and not value:
+                # omitted when falsy: untraced specs serialize exactly
+                # as they did before the telemetry layer existed, so
+                # stored spec dicts round-trip verbatim (the fingerprint
+                # additionally drops the field even when set — see
+                # :meth:`fingerprint`)
+                continue
             out[f.name] = value
         return out
 
@@ -166,9 +178,17 @@ class ExperimentSpec:
         """Stable run identity: hash of the canonical spec + root seed.
 
         Insensitive to parameter-dict ordering (params are stored sorted)
-        and to the position of the spec inside its campaign.
+        and to the position of the spec inside its campaign.  The
+        ``trace`` flag is excluded: tracing is observability, not
+        identity — a traced run derives the same seed streams, executes
+        the same moves, and keys the same store record as its untraced
+        twin (so flipping ``trace`` on an already-completed spec finds
+        the record cached; re-run against a fresh store to capture the
+        trace).
         """
-        canon = json.dumps({"root_seed": root_seed, "spec": self.to_dict()},
+        spec = self.to_dict()
+        spec.pop("trace", None)
+        canon = json.dumps({"root_seed": root_seed, "spec": spec},
                            sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 

@@ -58,13 +58,19 @@ def _peak_rss_kb() -> int | None:
 
 
 def _sharded_execution(
-        workload: Workload) -> tuple[float, int, int, bool, int, int]:
+        workload: Workload,
+        recorder=None) -> tuple[float, int, int, bool, int, int]:
     """One budgeted execution on the partitioned engine.
 
     ``workload.shards`` worker processes each own one shard of the
     topology; the clock covers only the lock-step round loop (worker
     spawn and the initial boundary exchange are construction, excluded
     like topology/init construction on the unsharded path).
+
+    ``recorder`` exists for ``repro obs record`` — it reuses this exact
+    build/budget logic so a trace describes precisely the pinned
+    workload.  Timings taken with a recorder attached are meaningless
+    and :func:`run_workload` refuses to produce them.
     """
     from repro.graphs.implicit import IMPLICIT_TOPOLOGIES, build_topology
     from repro.runtime.sharding import ShardedSimulator, plan_partition
@@ -88,7 +94,8 @@ def _sharded_execution(
         t0 = time.perf_counter()
         result = sharded.run(
             max_rounds=workload.round_budget or sys.maxsize,
-            require_silence=workload.round_budget == 0)
+            require_silence=workload.round_budget == 0,
+            recorder=recorder)
         seconds = time.perf_counter() - t0
     finally:
         sharded.close()
@@ -97,20 +104,23 @@ def _sharded_execution(
 
 
 def _one_execution(
-        workload: Workload) -> tuple[float, int, int, bool, int, int]:
+        workload: Workload,
+        recorder=None) -> tuple[float, int, int, bool, int, int]:
     """Build everything fresh and run one budgeted execution.
 
     Returns ``(seconds, moves, rounds, silent, n, m)`` with the clock
-    covering only the round loop.
+    covering only the round loop.  ``recorder`` (see
+    :func:`_sharded_execution`) is the ``repro obs record`` seam; it
+    never coexists with a recorded timing.
     """
     if workload.shards > 0:
-        return _sharded_execution(workload)
+        return _sharded_execution(workload, recorder=recorder)
     net = build_network(workload.topology, workload.topo, random.Random(0))
     proto, _ = build_protocol(workload.protocol)
     config, _ = build_config(workload.init, net, proto, random.Random(1),
                              workload.init_args)
     scheduler = SCHEDULERS[workload.scheduler](workload.scheduler_seed)
-    sim = Simulator(net, proto, scheduler, config=config)
+    sim = Simulator(net, proto, scheduler, config=config, recorder=recorder)
 
     t0 = time.perf_counter()
     if workload.round_budget == 0 and workload.move_budget > 0:
@@ -124,6 +134,8 @@ def _one_execution(
             if not sim.run_round(max_moves=10_000_000):
                 break
     seconds = time.perf_counter() - t0
+    if recorder is not None:
+        recorder.finalize(silent=sim.is_silent())
     return seconds, sim.moves, sim.rounds, sim.is_silent(), net.n, net.m
 
 
@@ -139,6 +151,15 @@ def run_workload(workload: Workload, repeats: int | None = None,
     k = repeats if repeats is not None else workload.repeats
     if k < 1:
         raise ValueError("repeats must be >= 1")
+
+    from repro.obs.probes import capture_active
+    if capture_active():
+        raise RuntimeError(
+            "refusing to measure: an obs trace capture is active in this "
+            "process, so probe work would sit inside the timed loop and "
+            "poison the numbers.  Finish (finalize/abort) every "
+            "TraceRecorder — and unset REPRO_OBS_CAPTURE — before "
+            "benchmarking; record traces and timings in separate runs.")
 
     if warmup and workload.warmup:
         _one_execution(workload)
@@ -204,6 +225,13 @@ def interpreter_report() -> dict[str, Any]:
         pass
     if "coverage" in sys.modules:
         dirty.append("the coverage package is loaded")
+    from repro.obs.probes import capture_active
+    if capture_active():
+        dirty.append(
+            "an obs trace capture is active (live TraceRecorder or "
+            "REPRO_OBS_CAPTURE set) — probe callbacks inside the measured "
+            "round loop invalidate throughput; finalize the recorder or "
+            "unset the variable, then re-run")
 
     src = _src_dir()
     pythonpath = os.environ.get("PYTHONPATH", "")

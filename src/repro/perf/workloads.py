@@ -179,6 +179,23 @@ def _build_registry() -> dict[str, Workload]:
             repeats=3,
             tags=("full", "smoke", "acceptance"),
         ),
+        # The acceptance workload's shape at n = 48: small enough to run
+        # to silence in milliseconds, so the CI obs-smoke job can record
+        # a full convergence trace (`repro obs record --workload
+        # smoke-sst-48`) on every PR without stretching the gate.
+        Workload(
+            name="smoke-sst-48",
+            family="engine",
+            protocol="sst",
+            topology="random",
+            topo_params=_params(n=48, seed=42),
+            scheduler="central-random",
+            scheduler_seed=3,
+            init="arbitrary",
+            init_params=_params(seed=7),
+            repeats=2,
+            tags=("smoke",),
+        ),
         # The acceptance workload's shape at n = 8192 (same daemon and
         # init discipline, fresh topology draw at size): the tuple-register
         # scale tier the ROADMAP gated on slot-indexed state.  One warm-up

@@ -22,7 +22,7 @@ from repro.runtime.registers import RegisterSpec
 from repro.runtime.schema import SlotState
 
 __all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
-           "effective_delta", "adapt_step_to_slots"]
+           "OBS_ENTRYPOINTS", "effective_delta", "adapt_step_to_slots"]
 
 #: The rule surface of a protocol, in evaluation-preference order: the
 #: names a subclass may implement to define its transition function.
@@ -32,6 +32,15 @@ __all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
 #: runtime, the analyzer, and the docs.
 RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots",
                                      "vector_step", "shard_step")
+
+#: The observer surface: probe callbacks the telemetry layer
+#: (:mod:`repro.obs`) invokes *between* atomic steps, never from inside
+#: one.  They read the whole configuration by design (a potential
+#: function is a global quantity), produce no deltas, and are therefore
+#: outside the rule contract — ``repro.statics`` never chases a call to
+#: one of these names into L/W-series findings, exactly as it never
+#: analyzes them as entrypoints.
+OBS_ENTRYPOINTS: tuple[str, ...] = ("probe_potential",)
 
 
 def effective_delta(protocol: "Protocol",
@@ -362,6 +371,25 @@ class Protocol(ABC):
         fields that change.
         """
 
+    # -- observer surface (repro.obs probes; not part of the rule) --------
+
+    def probe_potential(self, net: Network,
+                        config: Mapping[int, Mapping[str, object]],
+                        ) -> int | None:
+        """The protocol's convergence potential on ``config``, or ``None``.
+
+        An :data:`OBS_ENTRYPOINTS` member: a *global* measurement the
+        telemetry layer samples at round edges to plot per-round potential
+        descent (the quantity the paper's round-complexity arguments
+        decrease).  Deliberately outside the rule surface — nodes never
+        read it, rules never call it, and the engine only invokes it
+        between atomic steps, so its whole-configuration read does not
+        violate any layer's locality contract.  Implementations must be
+        total on *arbitrary* (corrupted) configurations and side-effect
+        free.  Default: no potential defined.
+        """
+        return None
+
     # -- contract metadata ------------------------------------------------
 
     def rule_contract(self) -> dict[str, object]:
@@ -375,12 +403,16 @@ class Protocol(ABC):
         and compositions report their layers recursively.
         """
         cls = type(self)
-        entrypoints: dict[str, bool] = {}
-        for name in RULE_ENTRYPOINTS:
+
+        def _overridden(name: str) -> bool:
             defining = next(
                 (c for c in cls.__mro__ if name in c.__dict__), None)
-            entrypoints[name] = (defining is not None
-                                 and defining is not Protocol)
+            return defining is not None and defining is not Protocol
+
+        entrypoints = {name: _overridden(name) for name in RULE_ENTRYPOINTS}
+        # the observer surface is reported separately so tooling can see
+        # it exists without ever mistaking it for part of the rule
+        observers = {name: _overridden(name) for name in OBS_ENTRYPOINTS}
         return {
             "protocol": self.name,
             "class": f"{cls.__module__}.{cls.__qualname__}",
@@ -388,6 +420,7 @@ class Protocol(ABC):
             "exact_deltas": self.exact_deltas,
             "shardable": self.shardable,
             "entrypoints": entrypoints,
+            "observers": observers,
             "layers": None,
         }
 
@@ -519,6 +552,13 @@ class ComposedProtocol(Protocol):
 
     def is_legal(self, net: Network, config) -> bool:
         return all(_safe_legal(layer, net, config) for layer in self.layers)
+
+    def probe_potential(self, net: Network, config) -> int | None:
+        """Sum of the implementing layers' potentials (None if none do)."""
+        values = [layer.probe_potential(net, config)
+                  for layer in self.layers]
+        values = [v for v in values if v is not None]
+        return sum(values) if values else None
 
     def rule_contract(self) -> dict[str, object]:
         contract = super().rule_contract()

@@ -129,16 +129,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         plan = plan_partition(topo, args.shards, method=args.method)
     factory = _protocol_factory(args.protocol)
 
-    stream = None
-    hook = None
-    if args.stream:
-        import json
-        stream = open(args.stream, "w", encoding="utf-8")
+    recorder = None
+    if args.trace:
+        from repro.obs.probes import TraceRecorder
+        recorder = TraceRecorder(
+            args.trace, header_extra={"topology": args.topology})
 
-        def hook(round_no, moves, per_shard):
-            stream.write(json.dumps({"round": round_no, "moves": moves,
-                                     "per_shard": per_shard}) + "\n")
-            stream.flush()
+    # live progress: rounds-to-silence ticking on a terminal (rewriting
+    # one status line), plain per-round lines when piped
+    tty = sys.stderr.isatty()
+
+    def hook(round_no, moves, per_shard):
+        line = f"round {round_no}: {moves} moves ({len(per_shard)} shards)"
+        if tty:
+            print(f"\r  {line}\x1b[K", end="", file=sys.stderr, flush=True)
+        elif not args.quiet:
+            print(f"  {line}", file=sys.stderr, flush=True)
 
     sharded = ShardedSimulator(topo, factory, plan,
                                init_seed=args.init_seed,
@@ -147,11 +153,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = sharded.run(
             max_rounds=args.rounds,
             require_silence=not args.no_silence,
-            round_hook=hook)
+            round_hook=hook,
+            recorder=recorder)
     finally:
         sharded.close()
-        if stream is not None:
-            stream.close()
+        if tty:
+            print("\r\x1b[K", end="", file=sys.stderr, flush=True)
     print(f"{args.protocol} on {args.topology}, k={plan.k} "
           f"({plan.method}, fingerprint {plan.fingerprint}):")
     print(f"  rounds        {result.rounds}")
@@ -160,8 +167,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  config digest {result.fingerprint}")
     print(f"  shard moves   {result.shard_moves}")
     print(f"  peak RSS KiB  {result.peak_rss_kb}")
-    if args.stream:
-        print(f"  round metrics streamed to {args.stream}")
+    if args.trace:
+        print(f"  convergence trace written to {args.trace} "
+              f"(render: python -m repro obs report {args.trace})")
     return 0
 
 
@@ -236,8 +244,12 @@ def register_shard(subparsers) -> None:
     p_run.add_argument("--processes", action="store_true",
                        help="one worker process per shard (default: "
                             "in-process workers)")
-    p_run.add_argument("--stream", metavar="PATH",
-                       help="stream per-round JSONL metrics here")
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="stream the unified convergence trace here "
+                            "(repro.obs JSONL schema; replaces the old "
+                            "bespoke --stream format)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-round progress on stderr")
     p_run.set_defaults(fn=_cmd_run)
 
     p_verify = ssub.add_parser(

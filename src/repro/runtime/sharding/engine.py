@@ -68,14 +68,22 @@ class ShardCrashError(RuntimeError):
 
     Carries the shard id and the (1-based) global round in flight so the
     failure is diagnosable from the message alone; the run's partial
-    results are discarded, never merged.
+    results are discarded, never merged.  When the parent has seen the
+    dead worker complete at least one round, ``frame`` carries that
+    worker's last telemetry frame (round, moves, enabled count) — the
+    last thing the shard was known to be doing.
     """
 
-    def __init__(self, shard_id: int, round_no: int, detail: str) -> None:
+    def __init__(self, shard_id: int, round_no: int, detail: str,
+                 frame: Mapping[str, int] | None = None) -> None:
         self.shard_id = shard_id
         self.round_no = round_no
-        super().__init__(
-            f"shard {shard_id} failed during round {round_no}: {detail}")
+        self.frame = dict(frame) if frame is not None else None
+        msg = f"shard {shard_id} failed during round {round_no}: {detail}"
+        if frame is not None:
+            msg += (f"; last telemetry frame: round {frame['round']}, "
+                    f"{frame['moves']} moves, {frame['enabled']} enabled")
+        super().__init__(msg)
 
 
 # ----------------------------------------------------------------------
@@ -334,9 +342,14 @@ class ShardedSimulator:
                 f"read_locality={probe.read_locality!r})")
         self.plan = plan
         self.k = plan.k
+        self.protocol_name = probe.name
         self.rounds = 0
         self.moves = 0
         self.shard_moves = [0] * plan.k
+        #: per-shard last telemetry frame ({"round", "moves", "enabled"})
+        #: — updated every executed round, attached to ShardCrashError so
+        #: a dead worker's last known state survives into the diagnosis
+        self.last_frames: list[dict[str, int] | None] = [None] * plan.k
         self._silent = False
         self._processes = processes
         self._procs: list = []
@@ -387,10 +400,12 @@ class ShardedSimulator:
             code = self._procs[i].exitcode
             raise ShardCrashError(
                 i, self.rounds + 1,
-                f"worker process died (exitcode {code})") from None
+                f"worker process died (exitcode {code})",
+                frame=self.last_frames[i]) from None
         if msg[0] == "error":
             raise ShardCrashError(i, self.rounds + 1,
-                                  f"{msg[1]}\n{msg[2]}")
+                                  f"{msg[1]}\n{msg[2]}",
+                                  frame=self.last_frames[i])
         return msg[1:]
 
     def _send(self, i: int, msg) -> None:
@@ -400,7 +415,8 @@ class ShardedSimulator:
             code = self._procs[i].exitcode
             raise ShardCrashError(
                 i, self.rounds + 1,
-                f"worker process died (exitcode {code})") from None
+                f"worker process died (exitcode {code})",
+                frame=self.last_frames[i]) from None
 
     def _route(self, outs) -> None:
         for out in outs:
@@ -431,9 +447,14 @@ class ShardedSimulator:
                        for i, w in enumerate(self._workers)]
         total = 0
         outs = []
+        attempted = self.rounds + 1
         for i, (count, out) in enumerate(results):
             total += count
             self.shard_moves[i] += count
+            # under the synchronous daemon every enabled owned node
+            # steps, so the shard's move count is its enabled count
+            self.last_frames[i] = {"round": attempted, "moves": count,
+                                   "enabled": count}
             outs.append(out)
         if total == 0:
             self._silent = True
@@ -445,22 +466,47 @@ class ShardedSimulator:
 
     def run(self, max_rounds: int, *, require_silence: bool = True,
             round_hook: Callable[[int, int, list[int]], None] | None = None,
-            ) -> ShardRunResult:
+            recorder=None) -> ShardRunResult:
         """Run to silence or the round budget.
 
         ``round_hook(round_no, round_moves, per_shard_moves)`` fires
-        after every executed round — the streaming seam the scale
-        campaign tier writes its JSONL metrics through (no whole-trace
-        materialization anywhere).
+        after every executed round — the live progress seam (the shard
+        CLI ticks rounds-to-silence through it; nothing is materialized).
+
+        ``recorder`` (a :class:`repro.obs.probes.TraceRecorder`) streams
+        the run as a unified convergence trace: workers' telemetry
+        frames are merged per round into one row carrying the shard
+        breakdown.  Rows are emitted with a one-round lag because a
+        round's ``enabled_end`` is the *next* round's enabled count
+        under the synchronous daemon (the silence check flushes the
+        final row with 0); on a budget stop the last row's
+        ``enabled_end`` is ``null`` — unmeasured, not zero.
         """
+        if recorder is not None:
+            recorder.attach_sharded(self)
+        pending_row: tuple[int, list[int]] | None = None
         try:
             while not self._silent and self.rounds < max_rounds:
                 before = list(self.shard_moves)
                 total = self.run_round()
+                per_shard = [a - b for a, b
+                             in zip(self.shard_moves, before)]
+                if recorder is not None:
+                    if pending_row is not None:
+                        recorder.round_row(
+                            moves=pending_row[0],
+                            enabled_start=pending_row[0],
+                            enabled_end=total,
+                            per_shard=pending_row[1])
+                    pending_row = (total, per_shard) if total else None
                 if total and round_hook is not None:
-                    per_shard = [a - b for a, b
-                                 in zip(self.shard_moves, before)]
                     round_hook(self.rounds, total, per_shard)
+            if recorder is not None:
+                if pending_row is not None:  # budget stop mid-convergence
+                    recorder.round_row(
+                        moves=pending_row[0], enabled_start=pending_row[0],
+                        enabled_end=None, per_shard=pending_row[1])
+                recorder.finalize(silent=self._silent)
             if require_silence and not self._silent:
                 raise RuntimeError(
                     f"no convergence within {max_rounds} rounds "
@@ -471,6 +517,8 @@ class ShardedSimulator:
                 shard_moves=list(self.shard_moves),
                 peak_rss_kb=self.peak_rss_kb())
         except BaseException:
+            if recorder is not None:
+                recorder.abort()
             self.terminate()
             raise
 

@@ -137,6 +137,7 @@ class Simulator:
         rng: random.Random | None = None,
         use_slot_rules: bool = True,
         use_vector_rules: bool = True,
+        recorder: object | None = None,
     ) -> None:
         self.net = net
         self.protocol = protocol
@@ -175,6 +176,11 @@ class Simulator:
         self.record_trace = record_trace
         self.moves = 0
         self.rounds = 0
+        # cold-path engagement counters (never touched by the fused loop):
+        # settle-retirements taken through _apply_batch and successful
+        # columnar refreshes.  The telemetry layer diffs them per round.
+        self.stat_settle_retired = 0
+        self.stat_vector_refreshes = 0
         self._invariant_violations = 0
         self._trace: list[Config] = []
         # incremental enabledness machinery: valid proposals for every
@@ -260,6 +266,15 @@ class Simulator:
                 self._vector_rule = vrule
         if record_trace:
             self._snapshot()
+        # telemetry seam: hook selection happens HERE, once, at setup.
+        # With no recorder the engine runs the exact pre-telemetry byte
+        # path — no per-move branch anywhere below; with one, the
+        # observed round loop shadows ``run_round`` on this instance
+        # only and emits one trace row per round.
+        self._obs = recorder
+        if recorder is not None:
+            self.run_round = self._run_round_observed  # type: ignore[method-assign]
+            recorder.attach(self)
 
     # ------------------------------------------------------------------
     # proposals and enabledness
@@ -436,6 +451,7 @@ class Simulator:
         if (self._sched_synced and (added or removed)
                 and self._notify is not None):
             self._notify(added, removed)
+        self.stat_vector_refreshes += 1
         return True
 
     def _propose(self, v: int) -> dict[int, object] | None:
@@ -584,6 +600,7 @@ class Simulator:
                         del elist[bisect_left(elist, v)]
                         retired.append(v)
                 if retired:
+                    self.stat_settle_retired += len(retired)
                     if self._pending is not None:
                         self._pending.difference_update(retired)
                     if self._sched_synced and self._notify is not None:
@@ -765,6 +782,91 @@ class Simulator:
         finally:
             self._pending = None
         self.rounds += 1
+        return True
+
+    def _run_round_observed(self, max_moves: int | None = None) -> bool:
+        """``run_round`` with per-round telemetry — the recorder's loop.
+
+        Installed as this instance's ``run_round`` at construction when
+        a recorder is attached (see ``__init__``); the plain class
+        method above is never patched, so unobserved simulators keep
+        the exact pre-telemetry byte path.
+
+        Mirrors the *general* (``select``-based, unfused) path of
+        :meth:`run_round` exactly.  State evolution is bit-identical to
+        the fused path by construction: single-selection daemons'
+        ``pick`` draws from the same RNG stream as ``select`` (that
+        equivalence is what the dual-path engine tests pin), so an
+        observed run replays the same moves in the same order and a
+        trace is a faithful record of the unobserved execution.
+        """
+        self._refresh()
+        enabled_start = len(self._enabled)
+        if not self._enabled:
+            return False
+        if max_moves is None:
+            max_moves = 200 * self.net.n * self.net.n_bound + 10_000
+        budget = max_moves
+        pending = set(self._enabled)
+        self._pending = pending
+        refresh = self._refresh
+        select = self.scheduler.select
+        validate = self._validate_selection
+        apply_batch = self._apply_batch
+        enabled = self._enabled
+        eset = enabled._set
+        n = self.net.n
+        moves_before = self.moves
+        vector_before = self.stat_vector_refreshes
+        settled_before = self.stat_settle_retired
+        selections = 0
+        dirty_peak = 0
+        try:
+            while pending:
+                if self._dirty_all or self._dirty:
+                    d = n if self._dirty_all else len(self._dirty)
+                    if d > dirty_peak:
+                        dirty_peak = d
+                    refresh()
+                    if not pending:
+                        break
+                chosen = select(enabled)
+                selections += 1
+                if len(chosen) != 1:
+                    validate(chosen)
+                    apply_batch(chosen)
+                    pending.difference_update(chosen)
+                    budget -= len(chosen)
+                else:
+                    v = chosen[0]
+                    if v not in eset:
+                        validate(chosen)  # raises with the full diagnosis
+                    apply_batch(chosen)
+                    pending.discard(v)
+                    budget -= 1
+                if budget <= 0:
+                    raise RuntimeError(
+                        f"round exceeded {max_moves} moves "
+                        f"(protocol={self.protocol.name}, n={self.net.n})"
+                    )
+        finally:
+            self._pending = None
+        self.rounds += 1
+        # settle the incremental state so the row reports the round-edge
+        # enabled count (idempotent; the next round's opening refresh
+        # becomes a no-op, and the potential probe reads a consistent
+        # configuration)
+        self._refresh()
+        self._obs.on_round(
+            self,
+            moves=self.moves - moves_before,
+            enabled_start=enabled_start,
+            enabled_end=len(self._enabled),
+            selections=selections,
+            dirty_peak=dirty_peak,
+            vector=self.stat_vector_refreshes - vector_before,
+            settled=self.stat_settle_retired - settled_before,
+        )
         return True
 
     def run_steps(self, max_moves: int) -> int:

@@ -45,6 +45,11 @@ class Tag:
     LOCALDICT = "LOCALDICT"  #: a scratch dict owned by the rule
     SETVAL = "SETVAL"        #: an unordered set/frozenset value
     NODE = "NODE"            #: a node identity
+    OBS = "OBS"              #: a telemetry recorder/probe handle — opaque
+                             #: plumbing outside the rule dataflow (the
+                             #: scan stops at observer entrypoints, so a
+                             #: tagged handle never reaches a rule scan;
+                             #: the tag keeps the convention explicit)
     OTHER = "OTHER"
 
     SLOT_PREFIX = "SLOT:"
@@ -80,6 +85,8 @@ PARAM_TAGS: dict[str, str] = {
     "intended": Tag.LOCALDICT,
     "delta": Tag.LOCALDICT,
     "updates": Tag.LOCALDICT,
+    "recorder": Tag.OBS,
+    "probe": Tag.OBS,
 }
 
 #: NodeView attributes yielding state-plane values.

@@ -12,16 +12,27 @@ attribute — collecting every reachable function whose source lives in
 the repository (or in the module defining the layer's own classes, so
 test fixtures analyze like first-class protocols).
 
-One boundary is sanctioned and never crossed:
-:meth:`repro.certify.oracle.CertifiedOracle.consult`.  The digest-keyed
-write-once memo is the repo's *mechanism* for letting a rule consult a
-globally-computed decision while remaining a pure function of its 1-hop
-view (see the oracle module's docstring), so the compute thunk passed to
-``consult`` is exempt from the locality rules: traversal stops at the
-call and the thunk argument's subtree is excluded from rule scans.  A
-rule that reaches the detector *without* going through ``consult`` gets
-no such exemption — that is exactly the PR 1 stale-oracle bug, and the
-L-series test re-introduces it to prove the analyzer catches it.
+Two boundaries are sanctioned and never crossed:
+
+* :meth:`repro.certify.oracle.CertifiedOracle.consult`.  The
+  digest-keyed write-once memo is the repo's *mechanism* for letting a
+  rule consult a globally-computed decision while remaining a pure
+  function of its 1-hop view (see the oracle module's docstring), so
+  the compute thunk passed to ``consult`` is exempt from the locality
+  rules: traversal stops at the call and the thunk argument's subtree
+  is excluded from rule scans.  A rule that reaches the detector
+  *without* going through ``consult`` gets no such exemption — that is
+  exactly the PR 1 stale-oracle bug, and the L-series test
+  re-introduces it to prove the analyzer catches it.
+* the observer entrypoints (``OBS_ENTRYPOINTS`` on the protocol
+  contract, e.g. ``probe_potential``).  Probes run *between* atomic
+  steps, never from inside one, and read the whole configuration by
+  design — they are telemetry, not rules, so traversal stops at any
+  call into one instead of flagging its global sweep as a locality
+  violation.  The probe body itself is simply outside the rule
+  surface; nothing a rule computes may depend on it, and the engine
+  enforces that by construction (probes fire from the recorder hook,
+  not from rule code).
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from pathlib import Path
 from types import FunctionType, ModuleType
 from typing import Optional
 
+from repro.runtime.protocol import OBS_ENTRYPOINTS
 from repro.statics.model import Site
 
 __all__ = [
@@ -197,6 +209,12 @@ def _is_sanctioned(fn: FunctionType) -> bool:
             and fn.__module__.endswith("certify.oracle"))
 
 
+def _is_observer(fn: FunctionType) -> bool:
+    """The probe boundary (see module docstring): observer entrypoints
+    are telemetry outside the rule surface, never chased."""
+    return fn.__name__ in OBS_ENTRYPOINTS
+
+
 def _resolve_call(call: ast.Call, unit: FuncUnit,
                   local_defs: set[str]) -> FunctionType | object | None:
     """Best-effort resolution of a call target to a live function.
@@ -306,6 +324,10 @@ def closure_of(entry_fn: FunctionType, owner: object) -> list[FuncUnit]:
                 for arg in node.args[1:]:
                     for sub in ast.walk(arg):
                         unit.skip_nodes.add(id(sub))
+                continue
+            if _is_observer(fn):
+                # probe callbacks are telemetry between atomic steps,
+                # not rule code: stop at the boundary, scan nothing
                 continue
             if fn.__code__ in seen or not _traversable(fn, roots):
                 continue

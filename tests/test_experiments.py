@@ -227,9 +227,9 @@ class TestExecutor:
         executed = []
         real = runner.run_spec
 
-        def counting(spec, root_seed):
+        def counting(spec, root_seed, trace_dir=None):
             executed.append(spec.fingerprint(root_seed))
-            return real(spec, root_seed)
+            return real(spec, root_seed, trace_dir=trace_dir)
 
         monkeypatch.setattr(runner, "run_spec", counting)
         run_campaign(campaign, store=store, max_runs=2)

@@ -85,6 +85,7 @@ class TestWorkloadRegistry:
         full = select_workloads()
         assert {w.name for w in smoke} == {
             "acceptance-sst-512",
+            "smoke-sst-48",
             "smoke-shard-sst-512",
             "smoke-bfs-48",
             "smoke-mst-48",
@@ -144,6 +145,15 @@ class TestHarness:
         assert isinstance(report["warnings"], list)
         assert report["implementation"]
         assert report["python"]
+
+    def test_refuses_to_measure_during_obs_capture(self, monkeypatch):
+        # an active trace capture puts probe work inside the timed loop;
+        # the harness must refuse rather than record poisoned numbers
+        monkeypatch.setenv("REPRO_OBS_CAPTURE", "1")
+        with pytest.raises(RuntimeError, match="refusing to measure"):
+            run_workload(_tiny_workload(), warmup=False)
+        assert any("obs trace capture" in reason
+                   for reason in interpreter_report()["dirty"])
 
 
 class TestEmitter:

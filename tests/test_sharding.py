@@ -291,6 +291,14 @@ def test_worker_crash_fails_loudly_with_shard_and_round():
         assert err.shard_id == 1
         assert err.round_no == 3
         assert "shard 1" in str(err) and "round 3" in str(err)
+        # the error carries the dead worker's last telemetry frame: the
+        # post-mortem anchor (which round it last completed, how many
+        # moves it reported) without any trace file in play
+        assert err.frame is not None
+        assert err.frame["round"] == 2
+        assert err.frame["moves"] > 0
+        assert "last telemetry frame" in str(err)
+        assert "round 2" in str(err)
     finally:
         sharded.terminate()
 

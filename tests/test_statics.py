@@ -184,6 +184,40 @@ class CleanPair(_TwoField):
         return None
 
 
+class ProbedClean(_TwoField):
+    """A clean rule plus a global-sweeping observer (the telemetry
+    layer's ``probe_potential``): observers live outside the rule
+    surface, so the analyzer must stay silent."""
+
+    name = "fixture-probed"
+
+    def step(self, view):
+        lo = min((view.nbr(u)["x"] for u in view.neighbors), default=0)
+        if view["x"] != lo:
+            return {"x": lo}
+        return None
+
+    def probe_potential(self, net, config):
+        total = 0
+        for v in net.nodes:  # a global sweep — legal *in a probe*
+            total += config[v]["x"]
+        return total
+
+
+class ProbeChaser(ProbedClean):
+    """A rule that *calls* its own observer: traversal must stop at the
+    observer boundary instead of flagging the probe's global sweep as a
+    locality leak inside ``step``."""
+
+    name = "fixture-probe-chaser"
+
+    def step(self, view):
+        total = self.probe_potential(view.net, view._config)
+        if view["x"] != total % 2:
+            return {"x": total % 2}
+        return None
+
+
 class UncertifiedMST(GuidedMST):
     """PR 1's bug, re-introduced on purpose: the root consults the
     global detector directly, with no ``CertifiedOracle`` boundary, while
@@ -273,6 +307,20 @@ def test_consistency_fixture_fires_c002():
 
 def test_clean_fixture_is_silent():
     assert _analyze(CleanPair) == []
+
+
+def test_probe_outside_rule_surface_is_silent():
+    # a global-sweeping probe_potential next to a clean step: observers
+    # are not rule entrypoints, so the sweep is never even scanned
+    assert _analyze(ProbedClean) == []
+
+
+def test_probe_boundary_stops_traversal():
+    # the rule *calls* the observer — without the boundary the probe's
+    # `for v in net.nodes` sweep would fire L001 inside step's closure
+    findings = _analyze(ProbeChaser)
+    assert not [f for f in findings if "nodes" in f.message], findings
+    assert not [f for f in findings if f.series == "L"], findings
 
 
 # ----------------------------------------------------------------------
