@@ -230,6 +230,32 @@ class SpanningTreeProtocol(Protocol):
 
         return rule
 
+    def interrupt_step(self, schema):
+        """The super-stabilization interrupt section (Protocol.interrupt_step).
+
+        The classical parent-vanished correction: a node whose parent
+        pointer was severed by the event (the incident edge removed, or
+        the parent crashed) resets to a self-root claim ``(me, NONE, 0)``
+        instead of waiting a round to rediscover it — the one prioritized
+        write Dolev–Herman's interrupt section allows.  Nodes that merely
+        gained or lost a non-parent neighbor are untouched; the ordinary
+        rule re-proposes them through the dirty set.
+        """
+        RID, PAR, D = schema.slot("rid"), schema.slot("par"), schema.slot("d")
+
+        def rule(net: Network, config, me: int, own, event) -> dict | None:
+            if own[PAR] not in event.lost_neighbors(me):
+                return None
+            delta = {}
+            if own[RID] != me:
+                delta[RID] = me
+            delta[PAR] = NONE
+            if own[D] != 0:
+                delta[D] = 0
+            return delta
+
+        return rule
+
     def fast_write_impact(self, schema):
         """Which neighbors a write can re-enable (Protocol.fast_write_impact).
 

@@ -662,6 +662,22 @@ class _OracleGuidedTask(ChainSwapMixin, PhaseLayer):
     def own_candidate(self, view: NodeView):
         return NONE
 
+    def on_topology_event(self, old_net: Network, new_net: Network,
+                          event: object) -> bool:
+        """Flush the oracle across topology revisions (Protocol hook).
+
+        Every memo entry was computed by ``_decide`` under the *old*
+        network (the decision thunk closes over the consult-time
+        topology), so a digest key that recurs after the event would
+        replay a decision about edges that may no longer exist.  Drop
+        the memo and the issued-key latch wholesale and invalidate every
+        cached proposal: the consulting root's enabledness is a function
+        of the memo, not only of its 1-hop registers.
+        """
+        self._oracle = CertifiedOracle()
+        self._issued_key = None
+        return True
+
     def labels_settled(self, view: NodeView) -> bool:
         # No explicit digest check is needed here: the DigestLayer runs
         # earlier in the same composed atomic step, so any ack write is

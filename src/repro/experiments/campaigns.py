@@ -270,6 +270,75 @@ def scale(root_seed: int = 0) -> Campaign:
                     tuple(specs), root_seed)
 
 
+#: the churn grid's axes (see EXPERIMENTS.md, EXP-CHURN)
+_CHURN_PROTOCOLS = ("sst", "adhoc-bfs", "guided-bfs")
+_CHURN_KINDS = ("edge-flip", "crash-join", "crash-recover", "mixed")
+#: single event vs batched churn — the super-stabilization table's rows
+_CHURN_RATES = (1, 5)
+
+
+def churn(root_seed: int = 0) -> Campaign:
+    """EXP-CHURN: super-stabilization under seeded topology churn.
+
+    Each row stabilizes from an arbitrary configuration, then the
+    dynamics engine applies a seeded event schedule and measures
+    re-silence (rounds/moves per wave) and certification-flicker
+    locality (fraction of verifier rejections within 2 hops of the
+    event).  ``waves`` contrasts a single event against batched churn;
+    the daemon axis runs the full factory so re-silence bounds are
+    daemon-independent facts, not synchronous artifacts.  Topology
+    ``headroom`` gives node-join events room under the incorruptible
+    ``n_bound``.
+    """
+    topo = {"n": 16, "seed": 11, "headroom": 4}
+    specs = []
+    for c in grid(protocol=list(_CHURN_PROTOCOLS),
+                  scheduler=sorted(ALL_SCHEDULER_FACTORIES),
+                  kind=list(_CHURN_KINDS),
+                  waves=list(_CHURN_RATES)):
+        specs.append(ExperimentSpec(
+            experiment="EXP-CHURN", protocol=c["protocol"],
+            topology="random", topo_params=topo,
+            scheduler=c["scheduler"], init="arbitrary",
+            init_params={"seed": 36}, max_rounds=200_000,
+            events={"kind": c["kind"], "waves": c["waves"], "check": 1}))
+    # one traced row: the v2 event-row plumbing exercised end to end
+    specs.append(ExperimentSpec(
+        experiment="EXP-CHURN", protocol="sst",
+        topology="random", topo_params=topo,
+        scheduler="central-random", init="arbitrary",
+        init_params={"seed": 36}, max_rounds=200_000, trace=1,
+        events={"kind": "mixed", "waves": 3, "check": 1}))
+    return Campaign("churn", "super-stabilization under topology churn",
+                    tuple(specs), root_seed)
+
+
+def churn_smoke(root_seed: int = 0) -> Campaign:
+    """The CI-sized corner of :func:`churn`: every protocol, two daemons,
+    two schedule kinds, single-wave, one traced row — enough to exercise
+    the dynamics engine, the rescan proof obligation (``check=1``), and
+    the trace-v2 event rows inside the smoke budget."""
+    topo = {"n": 12, "seed": 11, "headroom": 3}
+    specs = []
+    for c in grid(protocol=list(_CHURN_PROTOCOLS),
+                  scheduler=["synchronous", "central-random"],
+                  kind=["edge-flip", "crash-join"]):
+        specs.append(ExperimentSpec(
+            experiment="EXP-CHURN", protocol=c["protocol"],
+            topology="random", topo_params=topo,
+            scheduler=c["scheduler"], init="arbitrary",
+            init_params={"seed": 36}, max_rounds=200_000,
+            events={"kind": c["kind"], "waves": 2, "check": 1}))
+    specs.append(ExperimentSpec(
+        experiment="EXP-CHURN", protocol="sst",
+        topology="random", topo_params=topo,
+        scheduler="central-random", init="arbitrary",
+        init_params={"seed": 36}, max_rounds=200_000, trace=1,
+        events={"kind": "mixed", "waves": 2, "check": 1}))
+    return Campaign("churn-smoke", "churn smoke grid", tuple(specs),
+                    root_seed)
+
+
 def full(root_seed: int = 0) -> Campaign:
     """Every campaign above, in one sweep."""
     parts = [schedulers, silence, bfs, mst, mdst, nca, structure, engine,
@@ -292,6 +361,8 @@ CAMPAIGNS: dict[str, Callable[..., Campaign]] = {
     "nca": nca,
     "structure": structure,
     "certification": certification,
+    "churn": churn,
+    "churn-smoke": churn_smoke,
     "scale": scale,
     "full": full,
 }

@@ -61,15 +61,30 @@ def build_network(topology: str, params: Mapping[str, object],
     """Instantiate a topology.  Campaign specs usually pin an explicit
     ``seed`` in their params (a topology is part of the experiment's
     identity); when they do not, the run's derived topology stream is
-    injected so parallel workers never share RNG state."""
+    injected so parallel workers never share RNG state.
+
+    ``headroom`` (not a generator kwarg) widens the instance's
+    ``n_bound`` and ``id_space`` by that many slots above the built
+    size — the room node-join churn events grow into (the bounds stay
+    incorruptible constants; they are simply declared larger up front).
+    """
     if topology not in TOPOLOGIES:
         raise KeyError(
             f"unknown topology {topology!r} "
             f"(known: {', '.join(sorted(TOPOLOGIES))})")
     kwargs = dict(params)
+    headroom = int(kwargs.pop("headroom", 0) or 0)
+    if headroom < 0:
+        raise ValueError(f"headroom must be >= 0, got {headroom}")
     if "seed" not in kwargs:
         kwargs["rng"] = rng
-    return TOPOLOGIES[topology](**kwargs)
+    net = TOPOLOGIES[topology](**kwargs)
+    if not headroom:
+        return net
+    return Network(net.nodes, net.edges,
+                   weights=net.weights if net.weighted else None,
+                   id_space=net.id_space + headroom,
+                   n_bound=net.n + headroom)
 
 
 # ----------------------------------------------------------------------

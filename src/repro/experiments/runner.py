@@ -117,10 +117,13 @@ def execute(spec: ExperimentSpec, root_seed: int = 0,
         extra_probes: dict[str, Any] = {}
         if entry.certifier is not None:
             # the locally_certified flicker probe: the 0/1 per-round
-            # column flicker counts are read from (see repro.obs)
+            # column flicker counts are read from (see repro.obs).  The
+            # network is read through the live simulator, not captured:
+            # topology events rebind sim.net mid-run and the probe must
+            # verify against the current revision.
             cert_key = entry.certifier
             extra_probes["certified"] = lambda: int(
-                _certified(cert_key, net, live["sim"].config))
+                _certified(cert_key, live["sim"].net, live["sim"].config))
         recorder = TraceRecorder(
             Path(trace_dir) / trace_name,
             extra_probes=extra_probes,
@@ -189,6 +192,39 @@ def execute(spec: ExperimentSpec, root_seed: int = 0,
         if entry.certifier is not None:
             metrics["recovered_locally_certified"] = _certified(
                 entry.certifier, net, sim.config)
+
+    if spec.events:
+        # the churn phase: seeded topology events against the stabilized
+        # configuration, measuring re-silence and certification-flicker
+        # locality (see repro.runtime.dynamics).  The event stream's seed
+        # derives from (root_seed, fingerprint) like every other stream,
+        # overridable through the spec for pinned scenarios.
+        from repro.runtime.dynamics.run import run_churn
+        ev = spec.events_args
+        churn_seed = ev.get("seed")
+        if churn_seed is None:
+            churn_seed = derive_seed(root_seed, fp, "churn")
+        run_t0 = time.perf_counter()
+        try:
+            churn = run_churn(
+                sim,
+                kind=str(ev.get("kind", "mixed")),
+                waves=int(ev.get("waves", 1)),
+                seed=int(churn_seed),
+                certifier_key=entry.certifier,
+                recorder=recorder,
+                check=bool(ev.get("check", 0)))
+        except BaseException:
+            if recorder is not None:
+                recorder.abort()
+            raise
+        run_seconds += time.perf_counter() - run_t0
+        metrics["churn"] = churn
+        metrics["churn_silent"] = churn["silent"]
+        metrics["churn_legal"] = _legality(proto, sim.net, sim.config)
+        if entry.certifier is not None:
+            metrics["churn_locally_certified"] = _certified(
+                entry.certifier, sim.net, sim.config)
 
     if recorder is not None:
         recorder.finalize(silent=sim.is_silent())

@@ -97,9 +97,15 @@ class ExperimentSpec:
     #: filename.  Untraced specs serialize without this field, so every
     #: pre-telemetry fingerprint — and store — is preserved verbatim.
     trace: int = 0
+    #: churn phase parameters (``kind``, ``waves``, ``seed``, ...) run by
+    #: the dynamics engine *after* stabilization; empty = no churn.
+    #: Serialized only when set, so every pre-dynamics fingerprint — and
+    #: store — is preserved verbatim.
+    events: Params = ()
 
     def __post_init__(self) -> None:
-        for name in ("topo_params", "init_params", "analysis_params"):
+        for name in ("topo_params", "init_params", "analysis_params",
+                     "events"):
             object.__setattr__(self, name, _freeze_params(getattr(self, name)))
         # well-formedness is independent of `skip`: a skip spec is still a
         # declared run (it is fingerprinted and stored), only not executed
@@ -124,6 +130,10 @@ class ExperimentSpec:
     @property
     def analysis_args(self) -> dict[str, object]:
         return _params_dict(self.analysis_params)
+
+    @property
+    def events_args(self) -> dict[str, object]:
+        return _params_dict(self.events)
 
     @property
     def topology_label(self) -> str:
@@ -156,6 +166,16 @@ class ExperimentSpec:
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name.endswith("_params"):
+                value = _params_dict(value)
+            if f.name == "events":
+                if not value:
+                    # omitted when falsy: churn-free specs serialize
+                    # exactly as they did before the dynamics engine
+                    # existed, so stored spec dicts round-trip verbatim.
+                    # Unlike ``trace``, a set ``events`` IS identity: it
+                    # changes what executes, so it stays in the
+                    # fingerprint.
+                    continue
                 value = _params_dict(value)
             if f.name == "trace" and not value:
                 # omitted when falsy: untraced specs serialize exactly

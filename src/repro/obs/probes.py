@@ -25,7 +25,7 @@ import os
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.obs.trace import dump_line, make_end, make_header
+from repro.obs.trace import dump_line, make_end, make_event, make_header
 
 __all__ = ["TraceRecorder", "capture_active"]
 
@@ -193,6 +193,20 @@ class TraceRecorder:
         for name, fn in self._extra_probes.items():
             row[name] = fn()
         self._fh.write(dump_line(row))
+        self._fh.flush()
+
+    def event_row(self, *, event: dict[str, Any], n: int,
+                  enabled: int) -> None:
+        """Emit one topology-event record (schema v2).
+
+        Event rows never advance the round numbering or the move totals:
+        they are markers *between* rounds, so a churned trace's ``end``
+        totals still equal its per-round sums exactly.
+        """
+        if self._fh is None:
+            raise RuntimeError(f"recorder for {self.path} is not open")
+        self._fh.write(dump_line(make_event(
+            after_round=self._rounds, event=event, n=n, enabled=enabled)))
         self._fh.flush()
 
     def on_round(self, sim: Any, **stats: Any) -> None:

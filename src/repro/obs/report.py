@@ -71,6 +71,8 @@ def render_report(header: dict[str, Any], rows: list[dict[str, Any]],
                   end: dict[str, Any], *, max_rows: int = 40) -> str:
     """The full ``repro obs report`` rendering of one parsed trace."""
     lines: list[str] = []
+    events = [row for row in rows if row.get("kind") == "event"]
+    rows = [row for row in rows if row.get("kind") != "event"]
     engine = header.get("engine", {})
     lines.append(
         f"trace: protocol={header.get('protocol')} "
@@ -83,6 +85,13 @@ def render_report(header: dict[str, Any], rows: list[dict[str, Any]],
     lines.append(
         f"outcome: rounds={end['rounds']} moves={end['moves']} "
         f"silent={end['silent']}")
+    if events:
+        lines.append(f"topology events: {len(events)}")
+        for ev in events:
+            payload = ev.get("event", {})
+            lines.append(f"  after round {ev.get('after_round')}: "
+                         f"{payload.get('kind', '?')} {payload}  "
+                         f"-> n={ev.get('n')} enabled={ev.get('enabled')}")
     lines.append("")
 
     # sparklines: the convergence trajectory at a glance.  The initial

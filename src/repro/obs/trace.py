@@ -2,8 +2,9 @@
 
 A trace is one JSONL file per execution — a ``header`` line describing
 the workload and the engine configuration that produced it, one
-``round`` line per executed round, and an ``end`` line carrying the
-final totals.  The format is the observability twin of the
+``round`` line per executed round, optional ``event`` lines marking
+topology events between rounds (schema v2, the dynamics engine), and an
+``end`` line carrying the final totals.  The format is the observability twin of the
 ``BENCH_*.json`` perf reports (:mod:`repro.perf.emitter`): schema
 versioned, self-describing, validated before anything consumes it.
 
@@ -30,14 +31,16 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "dump_line",
     "make_header",
+    "make_event",
     "make_end",
     "validate_trace",
     "read_trace",
 ]
 
 #: Bump on incompatible trace-shape changes; validate_trace refuses
-#: traces written under any other version.
-TRACE_SCHEMA_VERSION = 1
+#: traces written under any other version.  v2 added ``event`` rows
+#: (topology events interleaved between rounds).
+TRACE_SCHEMA_VERSION = 2
 
 #: Keys every header line must carry.
 _REQUIRED_HEADER_KEYS = ("kind", "schema", "protocol", "scheduler", "n",
@@ -47,6 +50,10 @@ _REQUIRED_HEADER_KEYS = ("kind", "schema", "protocol", "scheduler", "n",
 #: declared by the header's ``probes`` list and validated per-trace).
 _REQUIRED_ROUND_KEYS = ("kind", "round", "moves", "enabled_start",
                         "enabled_end")
+
+#: Keys every event line must carry (schema v2): which round it landed
+#: after, the event payload, and the post-event network/enabled sizes.
+_REQUIRED_EVENT_KEYS = ("kind", "after_round", "event", "n", "enabled")
 
 #: Keys the end line must carry (the totals the validator cross-checks
 #: against the per-round rows).
@@ -78,6 +85,17 @@ def make_header(*, protocol: str, scheduler: str, n: int,
     }
     header.update(extra)
     return header
+
+
+def make_event(*, after_round: int, event: dict[str, Any], n: int,
+               enabled: int) -> dict[str, Any]:
+    """Assemble a topology-event line payload (schema v2).
+
+    ``after_round`` pins the event between rounds — it equals the number
+    of round records emitted before it, which the validator re-derives.
+    """
+    return {"kind": "event", "after_round": after_round, "event": event,
+            "n": n, "enabled": enabled}
 
 
 def make_end(*, rounds: int, moves: int, silent: bool) -> dict[str, Any]:
@@ -165,11 +183,26 @@ def validate_trace(path: str | Path) -> list[str]:
     rows = records[1:-1]
     probes = header.get("probes", [])
     total_moves = 0
-    for idx, row in enumerate(rows, start=1):
-        where = f"round record {idx}"
-        if row.get("kind") != "round":
-            errors.append(f"{where}: kind {row.get('kind')!r} != 'round'")
+    n_rounds = 0
+    for pos, row in enumerate(rows, start=1):
+        kind = row.get("kind")
+        if kind == "event":
+            # v2 topology-event marker: pinned to the round count at the
+            # moment it landed, never advancing the round numbering
+            where = f"record {pos} (event)"
+            for key in _REQUIRED_EVENT_KEYS:
+                if key not in row:
+                    errors.append(f"{where}: missing {key!r}")
+            if row.get("after_round") != n_rounds:
+                errors.append(
+                    f"{where}: after_round {row.get('after_round')!r} "
+                    f"(expected {n_rounds}, the rounds executed so far)")
             continue
+        where = f"round record {n_rounds + 1}"
+        if kind != "round":
+            errors.append(f"{where}: kind {kind!r} != 'round'")
+            continue
+        n_rounds += 1
         for key in _REQUIRED_ROUND_KEYS:
             if key not in row:
                 errors.append(f"{where}: missing {key!r}")
@@ -177,17 +210,17 @@ def validate_trace(path: str | Path) -> list[str]:
             if probe not in row:
                 errors.append(f"{where}: missing declared probe column "
                               f"{probe!r}")
-        if row.get("round") != idx:
+        if row.get("round") != n_rounds:
             errors.append(f"{where}: round number {row.get('round')!r} "
-                          f"(expected consecutive {idx})")
+                          f"(expected consecutive {n_rounds})")
         moves = row.get("moves")
         if isinstance(moves, int):
             total_moves += moves
     if errors:
         return errors
 
-    if end["rounds"] != len(rows):
-        errors.append(f"end: rounds {end['rounds']!r} != {len(rows)} "
+    if end["rounds"] != n_rounds:
+        errors.append(f"end: rounds {end['rounds']!r} != {n_rounds} "
                       "round records")
     if end["moves"] != total_moves:
         errors.append(f"end: moves {end['moves']!r} != per-round sum "

@@ -133,6 +133,17 @@ def _one_execution(
         while sim.rounds < round_budget and sim.moves < move_budget:
             if not sim.run_round(max_moves=10_000_000):
                 break
+    if workload.churn:
+        # the super-stabilization phase: a pinned seeded event schedule
+        # against the silent configuration, measured to re-silence.  No
+        # verifier probes in the timed loop — this is throughput, the
+        # locality metrics live in the churn campaigns.
+        from repro.runtime.dynamics.run import run_churn
+        ca = workload.churn_args
+        run_churn(sim, kind=str(ca.get("kind", "mixed")),
+                  waves=int(ca.get("waves", 1)),
+                  seed=int(ca.get("seed", 0)),
+                  recorder=recorder)
     seconds = time.perf_counter() - t0
     if recorder is not None:
         recorder.finalize(silent=sim.is_silent())

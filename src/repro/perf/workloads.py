@@ -73,6 +73,13 @@ class Workload:
     #: per-node keyed initialization (``init="per-node"``, seed from
     #: ``init_params``), so those fields are validated together
     shards: int = 0
+    #: churn params (``kind``/``waves``/``seed``): after the run reaches
+    #: silence the dynamics engine applies a seeded topology-event
+    #: schedule and the clock covers re-silence too — the pinned
+    #: super-stabilization workload.  Churn workloads are silence-bound
+    #: (no budgets) and single-process (topology events on a sharded
+    #: run are refused by the engine)
+    churn: tuple[tuple[str, object], ...] = ()
     tags: tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -95,6 +102,16 @@ class Workload:
                 raise ValueError(
                     f"{self.name}: sharded workloads are round-budgeted "
                     f"only (move_budget unsupported)")
+        if self.churn:
+            if self.shards > 0:
+                raise ValueError(
+                    f"{self.name}: churn workloads are single-process "
+                    f"(topology events on a sharded run are unsupported)")
+            if self.round_budget or self.move_budget:
+                raise ValueError(
+                    f"{self.name}: churn workloads run to silence "
+                    f"(budgets unsupported — re-silence is the "
+                    f"measurement)")
 
     @property
     def topo(self) -> dict[str, object]:
@@ -103,6 +120,10 @@ class Workload:
     @property
     def init_args(self) -> dict[str, object]:
         return dict(self.init_params)
+
+    @property
+    def churn_args(self) -> dict[str, object]:
+        return dict(self.churn)
 
     def describe(self) -> str:
         args = ",".join(f"{k}={v}" for k, v in self.topo_params)
@@ -265,6 +286,43 @@ def _build_registry() -> dict[str, Workload]:
             init_params=_params(seed=7),
             repeats=2,
             shards=2,
+            tags=("smoke",),
+        ),
+        # The super-stabilization tier: the acceptance shape run to
+        # silence, then a pinned seeded churn schedule (mixed events)
+        # applied by the dynamics engine with the clock still running —
+        # every repeat executes the identical event stream and identical
+        # re-silence moves.  ``headroom`` widens n_bound so node-join
+        # events have room under the incorruptible public bound.
+        Workload(
+            name="churn-sst-512",
+            family="engine",
+            protocol="sst",
+            topology="random",
+            topo_params=_params(n=512, seed=42, headroom=32),
+            scheduler="central-random",
+            scheduler_seed=3,
+            init="arbitrary",
+            init_params=_params(seed=7),
+            repeats=2,
+            warmup=False,
+            churn=_params(kind="mixed", waves=8, seed=21),
+            tags=("full",),
+        ),
+        # The churn tier's CI leg: small enough for the perf gate, big
+        # enough that all four mixed event kinds stay feasible.
+        Workload(
+            name="smoke-churn-sst-48",
+            family="engine",
+            protocol="sst",
+            topology="random",
+            topo_params=_params(n=48, seed=42, headroom=8),
+            scheduler="central-random",
+            scheduler_seed=3,
+            init="arbitrary",
+            init_params=_params(seed=7),
+            repeats=2,
+            churn=_params(kind="mixed", waves=4, seed=21),
             tags=("smoke",),
         ),
     ]

@@ -1,0 +1,346 @@
+"""Applying topology events to networks and to *running* simulators.
+
+Two layers:
+
+* :func:`revise` — pure: ``(Network, event) -> Network``.  The network
+  stays immutable (PR-3's ``__slots__``/eager-adjacency design); every
+  event builds a fresh revision carrying the original ``id_space`` and
+  ``n_bound`` forward (they are the paper's incorruptible public bounds
+  — rule semantics must not drift as the population fluctuates).  All
+  validity lives here: unknown nodes, duplicate/missing edges,
+  disconnecting removals (the constructions assume a connected network;
+  partition tolerance is future work), and ``n_bound`` exhaustion are
+  refused with a clear :class:`EventError`.
+
+* :func:`apply_event` — the engine rebinding: mutates a live
+  :class:`~repro.runtime.simulator.Simulator` onto the revision.
+  Surviving nodes keep their register rows *by identity* (the engine's
+  rows-mutated-in-place contract), joiners get bottom or spec-sampled
+  states, the schema/column planes are recompiled, the protocol's
+  interrupt section runs at the touched nodes, and exactly the event's
+  write-neighborhood is marked dirty — so the incremental
+  :class:`~repro.runtime.scheduler.EnabledSet` stays coherent, provable
+  on demand against :meth:`Simulator.rescan_enabled` (``check=True``,
+  the event-boundary proof obligation the dynamics tests run
+  everywhere).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graphs.network import Network
+from repro.runtime.columns import ColumnStore
+from repro.runtime.dynamics.events import (
+    EdgeAdd,
+    EdgeRemove,
+    NodeCrash,
+    NodeJoin,
+    NodeRecover,
+    TopologyEvent,
+)
+from repro.runtime.simulator import Simulator
+
+__all__ = ["EventError", "EventReport", "revise", "apply_event"]
+
+
+class EventError(ValueError):
+    """A topology event is invalid against the network it targets."""
+
+
+@dataclass(frozen=True)
+class EventReport:
+    """What one applied event did to the running simulator."""
+
+    event: TopologyEvent
+    #: surviving nodes whose neighborhood the event changed (ascending)
+    touched: tuple[int, ...]
+    #: effective register writes performed by the interrupt section
+    interrupt_writes: int
+    n: int
+    m: int
+    #: enabled-set size once the post-event refresh settled
+    enabled_after: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"event": self.event.to_dict(),
+                "touched": list(self.touched),
+                "interrupt_writes": self.interrupt_writes,
+                "n": self.n, "m": self.m,
+                "enabled_after": self.enabled_after}
+
+
+def _next_weight(weights: dict[tuple[int, int], int]) -> int:
+    return max(weights.values(), default=0) + 1
+
+
+def revise(net: Network, event: TopologyEvent) -> Network:
+    """The post-event network revision (pure; ``net`` is untouched)."""
+    nodes = list(net.nodes)
+    node_set = set(nodes)
+    edges = list(net.edges)
+    weights = net.weights if net.weighted else None
+
+    if isinstance(event, EdgeAdd):
+        for x in (event.u, event.v):
+            if x not in node_set:
+                raise EventError(f"{event}: node {x} does not exist")
+        if net.has_edge(event.u, event.v):
+            raise EventError(f"{event}: edge already exists")
+        e = (event.u, event.v)
+        edges.append(e)
+        if weights is not None:
+            w = event.weight if event.weight is not None \
+                else _next_weight(weights)
+            if w in weights.values():
+                raise EventError(
+                    f"{event}: weight {w} already used (weights are "
+                    f"pairwise distinct constants)")
+            weights[e] = w
+    elif isinstance(event, EdgeRemove):
+        e = (event.u, event.v)
+        if e not in set(edges):
+            raise EventError(f"{event}: no such edge")
+        edges.remove(e)
+        if weights is not None:
+            del weights[e]
+        if not _still_connected(nodes, edges):
+            raise EventError(
+                f"{event}: removal disconnects the network (the "
+                f"constructions assume a connected topology; partition "
+                f"tolerance is future work)")
+    elif isinstance(event, NodeCrash):
+        if event.node not in node_set:
+            raise EventError(f"{event}: node {event.node} does not exist")
+        if net.n < 2:
+            raise EventError(f"{event}: cannot crash the last node")
+        nodes.remove(event.node)
+        edges = [d for d in edges if event.node not in d]
+        if weights is not None:
+            weights = {d: w for d, w in weights.items()
+                       if event.node not in d}
+        if not _still_connected(nodes, edges):
+            raise EventError(
+                f"{event}: crash disconnects the network (node "
+                f"{event.node} is a cut vertex; partition tolerance is "
+                f"future work)")
+    elif isinstance(event, (NodeJoin, NodeRecover)):
+        if event.node in node_set:
+            raise EventError(f"{event}: id {event.node} already in use")
+        if not 1 <= event.node <= net.id_space:
+            raise EventError(
+                f"{event}: id {event.node} outside the identity space "
+                f"{{1, ..., {net.id_space}}}")
+        if net.n + 1 > net.n_bound:
+            raise EventError(
+                f"{event}: joining would exceed n_bound={net.n_bound} "
+                f"(give the topology headroom — n_bound is the "
+                f"incorruptible public bound the rules read)")
+        missing = [a for a in event.edges if a not in node_set]
+        if missing:
+            raise EventError(
+                f"{event}: attachment endpoints {missing} do not exist")
+        nodes.append(event.node)
+        for a in event.edges:
+            e = (min(event.node, a), max(event.node, a))
+            edges.append(e)
+            if weights is not None:
+                weights[e] = _next_weight(weights)
+    else:
+        raise EventError(f"unknown topology event {event!r}")
+
+    return Network(nodes, edges, weights=weights,
+                   id_space=net.id_space, n_bound=net.n_bound)
+
+
+def _still_connected(nodes: list[int], edges: list[tuple[int, int]]) -> bool:
+    if not nodes:
+        return False
+    adj: dict[int, list[int]] = {v: [] for v in nodes}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = {nodes[0]}
+    frontier = [nodes[0]]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return len(seen) == len(nodes)
+
+
+def _touched(event: TopologyEvent, old_net: Network) -> tuple[int, ...]:
+    """Surviving nodes whose neighborhood the event changed."""
+    if isinstance(event, (EdgeAdd, EdgeRemove)):
+        return tuple(sorted((event.u, event.v)))
+    if isinstance(event, NodeCrash):
+        return tuple(sorted(old_net.neighbors(event.node)))
+    # join/recover: the joiner and its attachment points
+    return tuple(sorted((event.node, *event.edges)))
+
+
+def _refuse_non_simulator(sim: object) -> None:
+    cls = type(sim).__name__
+    if cls == "ShardedSimulator" or "sharding" in type(sim).__module__:
+        raise ValueError(
+            "topology events on a sharded run are not supported: the "
+            "sharded engine exchanges halo registers keyed by a static "
+            "partition, and a live topology change would corrupt "
+            "shard-local halos (cross-shard events are future work).  "
+            "Re-run single-process to apply churn.")
+    raise TypeError(
+        f"apply_event needs a repro.runtime.simulator.Simulator, "
+        f"got {cls}")
+
+
+def apply_event(sim: Simulator, event: TopologyEvent, *,
+                rng: random.Random | None = None,
+                check: bool = False) -> EventReport:
+    """Rebind a running simulator to the event's network revision.
+
+    ``rng`` feeds ``init="sampled"`` joiner registers (default: the
+    simulator's own injected stream, like fault injection).  With
+    ``check=True`` the incremental enabled set is cross-checked against
+    a from-scratch rescan once the revision is bound — the event-boundary
+    proof obligation — and a mismatch raises RuntimeError.
+
+    Refuses sharded simulators (ValueError) and mid-round application
+    (RuntimeError): an event lands between rounds, never inside one.
+    """
+    if not isinstance(sim, Simulator):
+        _refuse_non_simulator(sim)
+    if sim._pending is not None:
+        raise RuntimeError(
+            "cannot apply a topology event mid-round: the active round's "
+            "pending set was computed against the old topology.  Apply "
+            "events between run_round() calls.")
+
+    old_net = sim.net
+    protocol = sim.protocol
+    new_net = revise(old_net, event)
+    touched = _touched(event, old_net)
+
+    rows = sim._state
+    config = sim.config
+    proposal = sim._proposal
+    enabled = sim._enabled
+
+    # ---- state carry-forward -----------------------------------------
+    if isinstance(event, NodeCrash):
+        v = event.node
+        del rows[v]
+        del config[v]
+        proposal.pop(v, None)
+        sim._dirty.discard(v)
+        if v in enabled._set:
+            enabled._set.remove(v)
+            del enabled._list[bisect_left(enabled._list, v)]
+
+    # ---- schema / plane rebinding ------------------------------------
+    new_spec = protocol.register_spec(new_net)
+    new_schema = new_spec.schema()
+    if tuple(new_schema.names) != tuple(sim.schema.names):
+        raise EventError(
+            f"{event}: register layout changed across the revision "
+            f"({list(sim.schema.names)} -> {list(new_schema.names)}); "
+            f"the dynamics engine carries rows forward positionally")
+    sim.net = new_net
+    sim.spec = new_spec
+    sim.schema = new_schema
+    sim._index = new_schema.index
+
+    if isinstance(event, (NodeJoin, NodeRecover)):
+        v = event.node
+        if event.init == "sampled":
+            sampler = rng if rng is not None else sim.rng
+            state = new_spec.corrupt_state(new_net, v, sampler)
+        else:
+            state = new_spec.default_state(new_net, v)
+        rows[v] = [state[name] for name in new_schema.names]
+        config[v] = new_schema.view(rows[v])
+
+    sim._all_nodes = sorted(new_net.nodes)
+    sim._bulk_dirty = max(4, new_net.n // 4)
+
+    # recompile the engine path for the new binding.  Survivor rows are
+    # the same list objects, so rebuilt neighbor tables alias live state
+    # exactly as construction did.
+    if sim._slot_rule is not None:
+        sim._slot_rule = protocol.fast_step_slots(new_schema)
+        sim._nbr_rows = {
+            v: tuple((u, rows[u]) for u in new_net.neighbors(v))
+            for v in new_net.nodes}
+        sim._view_rows = None
+    else:
+        sim._nbr_rows = None
+        sim._view_rows = {
+            v: tuple((u, config[u]) for u in new_net.neighbors(v))
+            for v in new_net.nodes}
+    if not sim._global_reads:
+        sim._write_impact = protocol.fast_write_impact(new_schema)
+    if sim._vector_rule is not None:
+        store = ColumnStore(new_schema, new_net, rows,
+                            backend=sim._columns.backend)
+        vrule = protocol.vector_step(new_schema, store)
+        sim._columns = store if vrule is not None else None
+        sim._vector_rule = vrule
+
+    # ---- protocol lifecycle hook -------------------------------------
+    invalidate_all = bool(protocol.on_topology_event(old_net, new_net,
+                                                     event))
+
+    # ---- interrupt section (super-stabilization) ---------------------
+    interrupt_writes = 0
+    dirty = set(touched)
+    irule = protocol.interrupt_step(new_schema)
+    if irule is not None:
+        for v in touched:
+            delta = irule(new_net, config, v, rows[v], event)
+            if not delta:
+                continue
+            row = rows[v]
+            wrote = False
+            for s, val in delta.items():
+                if row[s] != val:
+                    row[s] = val
+                    wrote = True
+            if wrote:
+                interrupt_writes += 1
+                dirty.update(new_net.neighbors(v))
+
+    # ---- dirty-set accounting + proof obligation ---------------------
+    # (the rebuilt ColumnStore starts fresh=False; the next vector
+    # refresh re-encodes from the post-interrupt rows on demand)
+    if sim._global_reads or invalidate_all:
+        sim._dirty_all = True
+        sim._dirty.clear()
+    else:
+        sim._dirty.update(dirty)
+    # stale cached proposals of vanished nodes can never be selected
+    # (the enabled set no longer contains them); drop crashed entries
+    # above, keep survivors — refresh re-proposes exactly the dirty ones.
+    sim._sched_synced = False  # the daemon re-reads the enabled set
+
+    enabled_after = len(sim.enabled_set())  # settles via _refresh
+    if check:
+        incremental = list(sim._enabled)
+        rescan = sim.rescan_enabled()
+        if incremental != rescan:
+            raise RuntimeError(
+                f"incremental enabled set diverged from rescan after "
+                f"{event}: {incremental} != {rescan}")
+
+    if sim.record_trace:
+        sim._snapshot()
+
+    return EventReport(event=event, touched=touched,
+                       interrupt_writes=interrupt_writes,
+                       n=new_net.n, m=new_net.m,
+                       enabled_after=enabled_after)

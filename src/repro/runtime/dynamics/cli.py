@@ -1,0 +1,121 @@
+"""``python -m repro churn`` — the dynamic-network campaign front end.
+
+::
+
+    python -m repro churn run --smoke --workers 4
+    python -m repro churn run --store results/churn.jsonl
+    python -m repro churn report
+    python -m repro churn report --smoke --format markdown
+
+``run`` executes the ``churn`` campaign family (``--smoke`` picks the
+CI-sized ``churn-smoke`` grid) through the ordinary resumable campaign
+executor — same stores, same fingerprints, same determinism guarantees
+as ``campaign run``.  ``report`` renders the super-stabilization tables
+(re-silence per wave, verifier-rejection locality) from the store alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.store import ResultStore
+
+__all__ = ["register_churn"]
+
+
+def _campaign(args: argparse.Namespace):
+    from repro.experiments.campaigns import get_campaign
+    name = "churn-smoke" if args.smoke else "churn"
+    return get_campaign(name, root_seed=args.root_seed)
+
+
+def _store(args: argparse.Namespace, campaign) -> ResultStore:
+    path = args.store or Path("campaigns") / f"{campaign.name}.jsonl"
+    return ResultStore(path)
+
+
+def _trace_dir(store: ResultStore) -> str | None:
+    if store.path is None:
+        return None
+    p = Path(store.path)
+    return str(p.with_name(p.stem + ".traces"))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.executor import run_campaign
+    campaign = _campaign(args)
+    store = _store(args, campaign)
+    cached = len(store.fingerprints() & set(campaign.fingerprints()))
+
+    def progress(done: int, total: int, record: dict) -> None:
+        if args.quiet:
+            return
+        metrics = record.get("metrics", {})
+        spec = record.get("spec", {})
+        churn = metrics.get("churn", {})
+        note = (f"events={churn.get('events')} "
+                f"resilience_rounds={churn.get('resilience_rounds_total')} "
+                f"locality={churn.get('locality')}"
+                if churn else "done")
+        print(f"[{done}/{total}] {spec.get('protocol')} "
+              f"{spec.get('scheduler')} "
+              f"{spec.get('events', {}).get('kind')}: {note}", flush=True)
+
+    records = run_campaign(campaign, store=store, workers=args.workers,
+                           max_runs=args.max_runs, progress=progress,
+                           trace_dir=_trace_dir(store))
+    executed = len(records) - cached
+    print(f"campaign {campaign.name!r}: {executed} executed, "
+          f"{cached} cached, {len(campaign) - len(records)} pending "
+          f"(store: {store.path})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime.dynamics.report import render_churn_report
+    campaign = _campaign(args)
+    store = _store(args, campaign)
+    wanted = set(campaign.fingerprints())
+    records = [r for r in store.records()
+               if r.get("fingerprint") in wanted]
+    if not records:
+        print("no records in the store for this campaign; "
+              "run `churn run` first", file=sys.stderr)
+        return 1
+    print(render_churn_report(records, markdown=args.format == "markdown"))
+    return 0
+
+
+def register_churn(subparsers) -> None:
+    """Attach the ``churn`` command group to the root CLI."""
+    churn = subparsers.add_parser(
+        "churn", help="dynamic-network campaigns (super-stabilization)")
+    sub = churn.add_subparsers(dest="subcommand", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--smoke", action="store_true",
+                       help="the CI-sized churn-smoke grid")
+        p.add_argument("--root-seed", type=int, default=0,
+                       help="campaign root seed (default 0)")
+        p.add_argument("--store", metavar="PATH",
+                       help="JSONL result store "
+                            "(default campaigns/<name>.jsonl)")
+
+    p_run = sub.add_parser("run", help="execute the churn grid (resumable)")
+    common(p_run)
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (default 1)")
+    p_run.add_argument("--max-runs", type=int, default=None,
+                       help="stop after N new runs")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("report",
+                           help="super-stabilization tables from the store")
+    common(p_rep)
+    p_rep.add_argument("--format", choices=("ascii", "markdown"),
+                       default="ascii")
+    p_rep.set_defaults(fn=_cmd_report)

@@ -1,0 +1,227 @@
+"""The topology-event model.
+
+An event is plain frozen data naming one atomic change to the network:
+an edge appearing or vanishing, a node joining with its attachment
+edges, crashing, or recovering onto (the surviving part of) its former
+edges.  Events serialize to canonical single-line JSON — sorted keys,
+fixed separators, the same discipline as the convergence-trace format
+(:mod:`repro.obs.trace`) — so an event stream is byte-identical across
+repeats and round-trips losslessly through trace files.
+
+Events carry *intent*, not validity: whether an edge exists, whether a
+removal disconnects the network, whether an id is free — all of that is
+checked by :func:`repro.runtime.dynamics.apply.revise` against the
+network the event is applied to.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, ClassVar
+
+__all__ = [
+    "TopologyEvent",
+    "EdgeAdd",
+    "EdgeRemove",
+    "NodeJoin",
+    "NodeCrash",
+    "NodeRecover",
+    "EVENT_KINDS",
+    "event_from_dict",
+    "dump_events",
+    "load_events",
+]
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """Base class: one atomic topology change, as data."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-plain payload; round-trips through :func:`event_from_dict`."""
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (no trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def lost_neighbors(self, node: int) -> frozenset[int]:
+        """Neighbors this event may have severed from ``node``.
+
+        What a protocol's interrupt rule keys on (the parent-vanished
+        correction): non-empty only for edge removals and crashes, and
+        computed from the event alone — the engine only invokes
+        interrupt rules at nodes actually touched by the event.
+        """
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.to_json()
+
+
+@dataclass(frozen=True)
+class EdgeAdd(TopologyEvent):
+    """Edge {u, v} appears; ``weight`` only matters on weighted networks
+    (``None`` lets the revision pick the next free weight)."""
+
+    u: int
+    v: int
+    weight: int | None = None
+
+    kind: ClassVar[str] = "edge-add"
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"edge-add: self-loop at {self.u}")
+        if self.u > self.v:  # canonical order, like Network's UWEdge
+            u, v = self.u, self.v
+            object.__setattr__(self, "u", v)
+            object.__setattr__(self, "v", u)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "u": self.u, "v": self.v}
+        if self.weight is not None:
+            out["weight"] = self.weight
+        return out
+
+
+@dataclass(frozen=True)
+class EdgeRemove(TopologyEvent):
+    """Edge {u, v} vanishes."""
+
+    u: int
+    v: int
+
+    kind: ClassVar[str] = "edge-remove"
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"edge-remove: self-loop at {self.u}")
+        if self.u > self.v:
+            u, v = self.u, self.v
+            object.__setattr__(self, "u", v)
+            object.__setattr__(self, "v", u)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "u": self.u, "v": self.v}
+
+    def lost_neighbors(self, node: int) -> frozenset[int]:
+        if node == self.u:
+            return frozenset((self.v,))
+        if node == self.v:
+            return frozenset((self.u,))
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class NodeJoin(TopologyEvent):
+    """Node ``node`` joins, attached by edges to ``edges`` (existing
+    nodes).  ``init`` picks the joiner's register: ``"bottom"`` (the
+    spec's default state) or ``"sampled"`` (adversarially corrupted —
+    the joiner arrives with arbitrary domain-valid register contents)."""
+
+    node: int
+    edges: tuple[int, ...]
+    init: str = "bottom"
+
+    kind: ClassVar[str] = "node-join"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", tuple(sorted(set(self.edges))))
+        if not self.edges:
+            raise ValueError(f"node-join {self.node}: no attachment edges")
+        if self.node in self.edges:
+            raise ValueError(f"node-join {self.node}: self-loop attachment")
+        if self.init not in ("bottom", "sampled"):
+            raise ValueError(f"node-join {self.node}: unknown init "
+                             f"{self.init!r} (bottom | sampled)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "node": self.node,
+                "edges": list(self.edges), "init": self.init}
+
+
+@dataclass(frozen=True)
+class NodeCrash(TopologyEvent):
+    """Node ``node`` crashes: it and its incident edges vanish."""
+
+    node: int
+
+    kind: ClassVar[str] = "node-crash"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "node": self.node}
+
+    def lost_neighbors(self, node: int) -> frozenset[int]:
+        return frozenset() if node == self.node else frozenset((self.node,))
+
+
+@dataclass(frozen=True)
+class NodeRecover(TopologyEvent):
+    """A previously crashed node returns.  Structurally a join (fresh
+    register — a crash loses the register; ``init`` as in
+    :class:`NodeJoin`), kept distinct so traces and schedules can tell
+    crash-recover churn from population growth."""
+
+    node: int
+    edges: tuple[int, ...]
+    init: str = "bottom"
+
+    kind: ClassVar[str] = "node-recover"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", tuple(sorted(set(self.edges))))
+        if not self.edges:
+            raise ValueError(f"node-recover {self.node}: no surviving edges")
+        if self.node in self.edges:
+            raise ValueError(f"node-recover {self.node}: self-loop edge")
+        if self.init not in ("bottom", "sampled"):
+            raise ValueError(f"node-recover {self.node}: unknown init "
+                             f"{self.init!r} (bottom | sampled)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "node": self.node,
+                "edges": list(self.edges), "init": self.init}
+
+
+EVENT_KINDS: dict[str, type[TopologyEvent]] = {
+    cls.kind: cls
+    for cls in (EdgeAdd, EdgeRemove, NodeJoin, NodeCrash, NodeRecover)
+}
+
+
+def event_from_dict(data: dict[str, Any]) -> TopologyEvent:
+    """Rebuild an event from its :meth:`TopologyEvent.to_dict` payload."""
+    kind = data.get("kind")
+    cls = EVENT_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r} "
+                         f"(known: {', '.join(sorted(EVENT_KINDS))})")
+    kwargs = {k: v for k, v in data.items() if k != "kind"}
+    if "edges" in kwargs:
+        kwargs["edges"] = tuple(kwargs["edges"])
+    return cls(**kwargs)
+
+
+def dump_events(path: str | Path, events: list[TopologyEvent]) -> None:
+    """Write an event stream as canonical JSONL (one event per line)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w") as fh:
+        for ev in events:
+            fh.write(ev.to_json() + "\n")
+
+
+def load_events(path: str | Path) -> list[TopologyEvent]:
+    """Read an event stream written by :func:`dump_events`."""
+    out = []
+    for i, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            raise ValueError(f"{path}: blank line {i} inside event stream")
+        out.append(event_from_dict(json.loads(line)))
+    return out

@@ -1,0 +1,112 @@
+"""Rendering churn campaign results: the super-stabilization tables.
+
+Pure functions of stored campaign records (the ``metrics["churn"]``
+payload :func:`~repro.runtime.dynamics.run.run_churn` produces) — a
+report is reproducible from the JSONL store alone, like every other
+table in the repository.
+
+Two tables:
+
+* **re-silence** — moves and rounds back to silence per churn wave,
+  grouped by (protocol, schedule kind, waves) and aggregated across the
+  daemon axis: the super-stabilization cost of a single event vs
+  batched churn;
+* **rejection locality** — how the verifier's rejections distribute
+  over BFS distance from each event's touched nodes, and the fraction
+  within :data:`~repro.runtime.dynamics.run.NEAR_RADIUS` hops (the
+  certification-flicker locality metric).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis import format_table
+from repro.runtime.dynamics.run import NEAR_RADIUS
+
+__all__ = ["churn_records", "render_resilience", "render_locality",
+           "render_churn_report"]
+
+
+def churn_records(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The records that actually ran a churn phase."""
+    return [r for r in records if r.get("metrics", {}).get("churn")]
+
+
+def _group(records: list[dict[str, Any]]
+           ) -> dict[tuple[str, str, int], list[dict[str, Any]]]:
+    groups: dict[tuple[str, str, int], list[dict[str, Any]]] = {}
+    for r in records:
+        spec = r.get("spec", {})
+        churn = r["metrics"]["churn"]
+        key = (spec.get("protocol", "?"), churn.get("kind", "?"),
+               int(spec.get("events", {}).get("waves", 0)))
+        groups.setdefault(key, []).append(r)
+    return groups
+
+
+def render_resilience(records: list[dict[str, Any]], *,
+                      markdown: bool = False) -> str:
+    """The re-silence table: single vs batched churn, across daemons."""
+    rows = []
+    for (proto, kind, waves), group in sorted(_group(records).items()):
+        churns = [r["metrics"]["churn"] for r in group]
+        events = sum(c["events"] for c in churns)
+        rounds_tot = sum(c["resilience_rounds_total"] for c in churns)
+        moves_tot = sum(c["resilience_moves_total"] for c in churns)
+        rows.append((
+            proto, kind, waves, len(group), events,
+            f"{rounds_tot / max(events, 1):.1f}",
+            max(c["resilience_rounds_max"] for c in churns),
+            f"{moves_tot / max(events, 1):.1f}",
+            max(c["resilience_moves_max"] for c in churns),
+            sum(c["interrupt_writes"] for c in churns),
+            "yes" if all(c["silent"] for c in churns) else "NO",
+        ))
+    return format_table(
+        "re-silence after topology events (mean/max per wave, "
+        "aggregated across daemons)",
+        ["protocol", "kind", "waves", "runs", "events", "rounds/ev",
+         "rounds max", "moves/ev", "moves max", "interrupt", "re-silent"],
+        rows, markdown=markdown)
+
+
+def render_locality(records: list[dict[str, Any]], *,
+                    markdown: bool = False) -> str:
+    """The certification-flicker locality table."""
+    rows = []
+    groups: dict[tuple[str, str], dict[str, int]] = {}
+    for r in records:
+        spec = r.get("spec", {})
+        churn = r["metrics"]["churn"]
+        key = (spec.get("protocol", "?"), churn.get("kind", "?"))
+        agg = groups.setdefault(key, {"total": 0, "near": 0, "hist": {}})
+        agg["total"] += churn.get("rejections", 0)
+        agg["near"] += churn.get("rejections_near", 0)
+        for d, c in churn.get("rejection_hist", {}).items():
+            agg["hist"][d] = agg["hist"].get(d, 0) + c
+    for (proto, kind), agg in sorted(groups.items()):
+        total, near = agg["total"], agg["near"]
+        hist = " ".join(f"{d}:{c}" for d, c in
+                        sorted(agg["hist"].items(),
+                               key=lambda kv: int(kv[0])))
+        rows.append((
+            proto, kind, total, near,
+            f"{near / total:.3f}" if total else "-",
+            hist or "-"))
+    return format_table(
+        f"verifier-rejection locality (near = within {NEAR_RADIUS} hops "
+        f"of the event)",
+        ["protocol", "kind", "rejections", "near", "locality",
+         "hist dist:count"],
+        rows, markdown=markdown)
+
+
+def render_churn_report(records: list[dict[str, Any]], *,
+                        markdown: bool = False) -> str:
+    """Both churn tables, from raw store records."""
+    churned = churn_records(records)
+    if not churned:
+        return "no churn records in the store\n"
+    return (render_resilience(churned, markdown=markdown) + "\n\n"
+            + render_locality(churned, markdown=markdown))

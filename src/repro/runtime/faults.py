@@ -32,6 +32,26 @@ __all__ = [
 ]
 
 
+def _validated_fields(spec: RegisterSpec,
+                      field_names: Sequence[str] | None) -> list[str] | None:
+    """``field_names`` as a list, refused loudly when any is unknown.
+
+    A typo'd field name used to sail straight into
+    :meth:`RegisterSpec.corrupt_state` and blow up as a bare ``KeyError``
+    deep in the sampler (or, worse, corrupt nothing the caller expected).
+    Mirror :meth:`Simulator.overwrite`'s contract instead: name the bad
+    fields and the known ones.
+    """
+    if not field_names:
+        return None
+    names = list(field_names)
+    unknown = sorted(set(names) - set(spec.names))
+    if unknown:
+        raise KeyError(f"unknown fields: {unknown} "
+                       f"(register has: {sorted(spec.names)})")
+    return names
+
+
 def corrupt_nodes(
     net: Network,
     spec: RegisterSpec,
@@ -42,14 +62,13 @@ def corrupt_nodes(
 ) -> Config:
     """Return a copy of ``config`` with the given nodes' registers corrupted.
 
-    ``field_names`` restricts corruption to specific fields (default: all).
+    ``field_names`` restricts corruption to specific fields (default:
+    all); unknown names raise ``KeyError`` up front.
     """
+    names = _validated_fields(spec, field_names)
     out = {v: dict(state) for v, state in config.items()}
     for v in nodes:
-        out[v].update(
-            spec.corrupt_state(net, v, rng,
-                               list(field_names) if field_names else None)
-        )
+        out[v].update(spec.corrupt_state(net, v, rng, names))
     return out
 
 
@@ -65,9 +84,10 @@ def inject_faults(
     neighborhood land in the engine's dirty set and the incremental enabled
     set stays coherent — this is the supported way to model transient faults
     mid-execution (as opposed to :func:`corrupt_nodes`, which builds a fresh
-    initial configuration for a fresh simulator).
+    initial configuration for a fresh simulator).  Unknown ``field_names``
+    raise ``KeyError`` before any register is touched.
     """
-    names = list(field_names) if field_names else None
+    names = _validated_fields(sim.spec, field_names)
     for v in nodes:
         sim.overwrite(v, sim.spec.corrupt_state(sim.net, v, rng, names))
 

@@ -31,7 +31,8 @@ __all__ = ["NodeView", "Protocol", "ComposedProtocol", "RULE_ENTRYPOINTS",
 #: overrides — one definition of "the rule surface" shared by the
 #: runtime, the analyzer, and the docs.
 RULE_ENTRYPOINTS: tuple[str, ...] = ("step", "fast_step", "fast_step_slots",
-                                     "vector_step", "shard_step")
+                                     "vector_step", "shard_step",
+                                     "interrupt_step")
 
 #: The observer surface: probe callbacks the telemetry layer
 #: (:mod:`repro.obs`) invokes *between* atomic steps, never from inside
@@ -358,6 +359,49 @@ class Protocol(ABC):
         """
         return None
 
+    def interrupt_step(self, schema):
+        """Compile the topology-interrupt rule, or return ``None``.
+
+        Super-stabilization's *interrupt section* (the dynamics engine,
+        :mod:`repro.runtime.dynamics`): when a topology event removes
+        part of a node's neighborhood, the node may execute one
+        prioritized corrective write before normal scheduling resumes.
+        A protocol that opts in resolves its slots once and returns a
+        rule
+
+        ``rule(net, config, node, own, event) -> dict[int, object] | None``
+
+        called once per *touched surviving* node right after the event's
+        :class:`~repro.graphs.network.Network` revision is bound:
+        ``net`` is the post-event network, ``own`` the node's raw slot
+        row, and ``event`` the topology event
+        (:mod:`repro.runtime.dynamics.events`).  The returned delta is
+        slot-keyed, like :meth:`fast_step_slots`.  The rule must be a
+        function of the node's own register and the event only — it is a
+        :data:`RULE_ENTRYPOINTS` member, so ``repro.statics`` proves its
+        read/write footprint like any other rule.
+
+        Default: ``None`` — no interrupt section; touched nodes are
+        simply re-proposed through the ordinary dirty-set machinery.
+        """
+        return None
+
+    def on_topology_event(self, old_net: Network, new_net: Network,
+                          event: object) -> bool:
+        """Lifecycle hook: a topology event replaced ``old_net``.
+
+        Invoked by the dynamics engine after it binds the revised
+        network but before re-proposing.  Protocols holding per-network
+        caches (oracle memos keyed under the old topology) flush them
+        here.  Returns True when the flush invalidates *every* cached
+        proposal (the engine then raises the all-dirty flag instead of
+        dirtying only the event's write-neighborhood).  Like
+        :meth:`fast_write_impact`, this is an engine-side hook, not a
+        rule entrypoint: it produces no deltas.  Default: keep nothing,
+        invalidate nothing extra.
+        """
+        return False
+
     @abstractmethod
     def register_spec(self, net: Network) -> RegisterSpec:
         """The register layout each node uses on network ``net``."""
@@ -549,6 +593,45 @@ class ComposedProtocol(Protocol):
             return updates
 
         return composed
+
+    def interrupt_step(self, schema):
+        """The composed interrupt section (see :class:`Protocol`).
+
+        Layers that opt in run in order; each sees this node's register
+        patched with the corrective writes of the layers below it,
+        mirroring :meth:`fast_step_slots`.  Compositions where no layer
+        opts in have no interrupt section.
+        """
+        rules = [layer.interrupt_step(schema) for layer in self.layers]
+        rules = [rule for rule in rules if rule is not None]
+        if not rules:
+            return None
+        if len(rules) == 1:
+            return rules[0]
+
+        def composed(net, config, node, own, event, _rules=tuple(rules)):
+            updates = None
+            cur = own
+            for rule in _rules:
+                delta = rule(net, config, node, cur, event)
+                if delta:
+                    if updates is None:
+                        updates = {}
+                        cur = own.copy()
+                    updates.update(delta)
+                    for i, val in delta.items():
+                        cur[i] = val
+            return updates
+
+        return composed
+
+    def on_topology_event(self, old_net: Network, new_net: Network,
+                          event: object) -> bool:
+        invalidate = False
+        for layer in self.layers:
+            if layer.on_topology_event(old_net, new_net, event):
+                invalidate = True
+        return invalidate
 
     def is_legal(self, net: Network, config) -> bool:
         return all(_safe_legal(layer, net, config) for layer in self.layers)

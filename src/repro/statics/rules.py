@@ -215,7 +215,8 @@ class WriteOwnershipRule(Rule):
 # ----------------------------------------------------------------------
 
 #: Rule paths that traffic in compiled slot indices (S002 applies).
-_SLOT_PATHS = frozenset({"fast_step_slots", "vector_step", "shard_step"})
+_SLOT_PATHS = frozenset({"fast_step_slots", "vector_step", "shard_step",
+                         "interrupt_step"})
 
 
 class SchemaCoverageRule(Rule):

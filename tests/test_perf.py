@@ -87,6 +87,7 @@ class TestWorkloadRegistry:
             "acceptance-sst-512",
             "smoke-sst-48",
             "smoke-shard-sst-512",
+            "smoke-churn-sst-48",
             "smoke-bfs-48",
             "smoke-mst-48",
             "smoke-mdst-48",
